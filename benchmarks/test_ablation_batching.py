@@ -1,0 +1,7 @@
+"""Benchmark: regenerate GDI batching ablation."""
+
+from conftest import run_and_check
+
+
+def test_ablation_batching(benchmark):
+    run_and_check(benchmark, "ablation-batching")

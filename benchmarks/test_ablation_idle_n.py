@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Idle-loop N ablation."""
+
+from conftest import run_and_check
+
+
+def test_ablation_idle_n(benchmark):
+    run_and_check(benchmark, "ablation-idle-n")

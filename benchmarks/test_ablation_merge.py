@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Event-segmentation ablation."""
+
+from conftest import run_and_check
+
+
+def test_ablation_merge(benchmark):
+    run_and_check(benchmark, "ablation-merge")

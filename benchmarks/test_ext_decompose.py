@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the input-latency decomposition extension."""
+
+from conftest import run_and_check
+
+
+def test_ext_decompose(benchmark):
+    run_and_check(benchmark, "ext-decompose")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the network-packet latency extension."""
+
+from conftest import run_and_check
+
+
+def test_ext_network(benchmark):
+    run_and_check(benchmark, "ext-network")

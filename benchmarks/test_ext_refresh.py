@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the display-refresh extension analysis."""
+
+from conftest import run_and_check
+
+
+def test_ext_refresh(benchmark):
+    run_and_check(benchmark, "ext-refresh")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Idle-loop validation echo microbenchmark - Figure 1."""
+
+from conftest import run_and_check
+
+
+def test_fig01(benchmark):
+    run_and_check(benchmark, "fig1")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Wait/think FSM classification - Figure 2."""
+
+from conftest import run_and_check
+
+
+def test_fig02(benchmark):
+    run_and_check(benchmark, "fig2")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Idle-system profiles - Figure 3."""
+
+from conftest import run_and_check
+
+
+def test_fig03(benchmark):
+    run_and_check(benchmark, "fig3")

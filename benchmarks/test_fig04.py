@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Window-maximize animation profile - Figure 4."""
+
+from conftest import run_and_check
+
+
+def test_fig04(benchmark):
+    run_and_check(benchmark, "fig4")

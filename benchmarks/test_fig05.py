@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Raw Word latency time series - Figure 5."""
+
+from conftest import run_and_check
+
+
+def test_fig05(benchmark):
+    run_and_check(benchmark, "fig5")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Simple interactive events - Figure 6."""
+
+from conftest import run_and_check
+
+
+def test_fig06(benchmark):
+    run_and_check(benchmark, "fig6")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Notepad task summary - Figure 7."""
+
+from conftest import run_and_check
+
+
+def test_fig07(benchmark):
+    run_and_check(benchmark, "fig7")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate PowerPoint task summary - Figure 8."""
+
+from conftest import run_and_check
+
+
+def test_fig08(benchmark):
+    run_and_check(benchmark, "fig8")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Page-down hardware counters - Figure 9."""
+
+from conftest import run_and_check
+
+
+def test_fig09(benchmark):
+    run_and_check(benchmark, "fig9")

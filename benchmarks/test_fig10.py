@@ -1,0 +1,7 @@
+"""Benchmark: regenerate OLE-edit hardware counters - Figure 10."""
+
+from conftest import run_and_check
+
+
+def test_fig10(benchmark):
+    run_and_check(benchmark, "fig10")

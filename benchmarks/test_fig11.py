@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Word task summary - Figure 11."""
+
+from conftest import run_and_check
+
+
+def test_fig11(benchmark):
+    run_and_check(benchmark, "fig11")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Long-event time series - Figure 12."""
+
+from conftest import run_and_check
+
+
+def test_fig12(benchmark):
+    run_and_check(benchmark, "fig12")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the Section 2.5 interrupt-cost measurement."""
+
+from conftest import run_and_check
+
+
+def test_sec25(benchmark):
+    run_and_check(benchmark, "sec25")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Test vs hand-typed Word - Section 5.4."""
+
+from conftest import run_and_check
+
+
+def test_sec54(benchmark):
+    run_and_check(benchmark, "sec54")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the Section 5 repeatability analysis."""
+
+from conftest import run_and_check
+
+
+def test_sec5_repeat(benchmark):
+    run_and_check(benchmark, "sec5-repeat")

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not paper artifacts — these measure the harness's own performance so
+regressions in the event engine, the syscall path, or the input
+pipeline are visible.  Real (wall-clock) time per unit of simulated
+work is the metric.
+"""
+
+from repro.apps import NotepadApp
+from repro.core import IdleLoopInstrument
+from repro.sim.engine import Simulator
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import Compute, boot
+from repro.workload.mstest import MsTestDriver
+from repro.workload.script import InputScript, Key
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw calendar: schedule+execute 100k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def chain():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(10, chain)
+
+        sim.schedule(10, chain)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_syscall_dispatch_throughput(benchmark):
+    """Kernel: 10k Compute syscalls through the full dispatch path."""
+
+    def run():
+        system = boot("nt40")
+        done = []
+
+        def program():
+            for _ in range(10_000):
+                yield Compute(system.personality.app_work(100))
+            done.append(True)
+
+        system.spawn("worker", program())
+        system.run_until_quiescent(max_ns=system.now + 60 * 10**9)
+        return bool(done)
+
+    assert benchmark(run)
+
+
+def test_keystroke_pipeline_rate(benchmark):
+    """Interrupt -> DPC -> message -> app handling, 200 keystrokes."""
+
+    def run():
+        system = boot("nt40")
+        app = NotepadApp(system)
+        app.start(foreground=True)
+        system.run_for(ns_from_ms(5))
+        driver = MsTestDriver(
+            system,
+            InputScript([Key("a", pause_ms=20.0)] * 200),
+            queuesync=False,
+            default_pause_ms=20.0,
+        )
+        driver.run_to_completion(max_seconds=120)
+        return app.keystrokes
+
+    assert benchmark(run) >= 200
+
+
+def test_idle_loop_sampling_cost(benchmark):
+    """One simulated second of idle sampling (1000 trace records)."""
+
+    def run():
+        system = boot("nt40")
+        instrument = IdleLoopInstrument(system)
+        instrument.install()
+        system.run_for(ns_from_ms(1000))
+        return instrument.samples_collected
+
+    assert benchmark(run) >= 950

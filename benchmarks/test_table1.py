@@ -1,0 +1,7 @@
+"""Benchmark: regenerate PowerPoint long events - Table 1."""
+
+from conftest import run_and_check
+
+
+def test_table1(benchmark):
+    run_and_check(benchmark, "table1")

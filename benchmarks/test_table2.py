@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Word interarrival distributions - Table 2."""
+
+from conftest import run_and_check
+
+
+def test_table2(benchmark):
+    run_and_check(benchmark, "table2")

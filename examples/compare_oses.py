@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare the responsiveness of three simulated operating systems.
+
+Reproduces the structure of the paper's Notepad comparison (Figure 7):
+the same application binary, the same input script, three systems —
+and the distinction the paper drew between *cumulative latency* (what
+the user feels) and *elapsed time* (what a throughput benchmark would
+report).  Windows 95 wins the first and loses the second, entirely
+because of how the benchmark driver's WM_QUEUESYNC messages are
+processed.
+
+Run:  python examples/compare_oses.py
+"""
+
+import random
+
+from repro.apps import NotepadApp
+from repro.core import run_comparison
+from repro.core.visualize import bar_chart
+from repro.workload.tasks import notepad_task
+
+
+def main() -> None:
+    rng = random.Random(7)
+    spec = notepad_task(rng, chars=300, page_downs=4, arrows=10)
+    comparison = run_comparison(
+        "notepad",
+        ("nt351", "nt40", "win95"),
+        NotepadApp,
+        spec.script,
+        run_kwargs=dict(remove_queuesync=True, default_pause_ms=120.0,
+                        max_seconds=600),
+    )
+    print(comparison.summary_table().render())
+    print()
+    print("cumulative event latency (user-perceived):")
+    print(bar_chart(sorted(comparison.cumulative_latency_ms().items()), unit="ms"))
+    print()
+    print("elapsed time (what a throughput benchmark reports):")
+    print(bar_chart(sorted(comparison.elapsed_s().items()), unit="s"))
+    print()
+    for os_name in comparison.os_names:
+        profile = comparison.profile(os_name)
+        fraction = profile.fraction_of_latency_below(10.0)
+        print(
+            f"{os_name}: {fraction * 100:.0f}% of cumulative latency comes "
+            f"from sub-10 ms keystrokes"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Measure interrupt-handling overhead with lost time (Section 2.5).
+
+A fine-grained (50 microsecond) idle loop pairs every trace record with
+a reading of the hardware interrupt counter; intervals containing
+exactly one interrupt expose that interrupt's stolen cycles.  The
+minimum over many samples is the bare interrupt-service cost — the
+paper's "smallest clock interrupt handling overhead under Windows NT
+4.0 was about 400 cycles" — while the tail shows ticks that also ran
+deferred kernel work.
+
+Run:  python examples/interrupt_cost.py
+"""
+
+from repro.core import InterruptCostProbe
+from repro.core.report import TextTable
+from repro.winsys import boot
+
+
+def main() -> None:
+    table = TextTable(
+        ["system", "interrupts", "min cycles", "median", "p95", "max"],
+        title="per-interrupt stolen time on an idle system (1.5 s window)",
+    )
+    for os_name in ("nt351", "nt40", "win95"):
+        system = boot(os_name)
+        probe = InterruptCostProbe(system, loop_us=50.0)
+        report = probe.measure(duration_ms=1500.0)
+        table.add_row(
+            os_name,
+            report.interrupts_observed,
+            report.min_cycles,
+            report.median_cycles,
+            report.percentile_cycles(95),
+            report.max_cycles,
+        )
+    print(table.render())
+    print()
+    print(
+        "The minimum is the bare clock ISR (the paper's ~400 cycles on\n"
+        "NT 4.0); larger samples caught ticks that also ran deferred\n"
+        "procedure calls or periodic housekeeping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro: reproduction of "Using Latency to Evaluate Interactive System
+Performance" (Endo, Wang, Chen & Seltzer, OSDI '96).
+
+Layers:
+
+* :mod:`repro.sim` — deterministic discrete-event hardware simulation
+  (the paper's 100 MHz Pentium testbed).
+* :mod:`repro.winsys` — the simulated Windows family (NT 3.51, NT 4.0,
+  Windows 95 personalities over one kernel mechanism).
+* :mod:`repro.apps` — interactive application models (Notepad, Word,
+  PowerPoint, shell, echo).
+* :mod:`repro.workload` — input generation (MS-Test-style scripted
+  driver and a stochastic human typist).
+* :mod:`repro.core` — the paper's contribution: idle-loop latency
+  instrumentation, message-API monitoring, the wait/think FSM, counter
+  attribution, analysis and visualization.
+* :mod:`repro.experiments` — one driver per figure/table in the paper.
+"""
+
+__version__ = "1.0.0"

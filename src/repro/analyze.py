@@ -1,0 +1,117 @@
+"""Offline analysis CLI for archived measurement artifacts.
+
+    repro-analyze profile.json                    # summary + histogram
+    repro-analyze profile.json --thresholds 100,110,120
+    repro-analyze trace.json --windows 10
+
+Works on the JSON artifacts written by :mod:`repro.core.serialize` (and
+by ``repro-experiments --save``), so captured runs can be re-analysed —
+different thresholds, different bins, refresh adjustment — without
+re-simulating, the capture-once/analyse-many workflow of Section 5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core.analysis import latency_histogram, variance_summary
+from .core.interarrival import interarrival_table
+from .core.refresh import DEFAULT_REFRESH_NS, refresh_adjusted
+from .core.report import TextTable
+from .core.serialize import load_json, profile_from_dict, trace_from_dict
+from .core.visualize import event_time_series, log_histogram, utilization_profile
+from .sim.timebase import ns_from_ms
+
+__all__ = ["main"]
+
+
+def _analyze_profile(data: dict, args) -> int:
+    profile = profile_from_dict(data)
+    summary = variance_summary(profile)
+    table = TextTable(["quantity", "value"], title=f"profile {profile.name!r}")
+    for key, value in summary.items():
+        table.add_row(key, value)
+    print(table.render())
+    print()
+    print("histogram (log counts):")
+    print(log_histogram(latency_histogram(profile, bin_ms=args.bin_ms)))
+    if args.thresholds:
+        thresholds = [float(t) for t in args.thresholds.split(",")]
+        print()
+        rows_table = TextTable(
+            ["threshold ms", "count", "mean interarrival s", "std s"],
+            title="above-threshold interarrivals",
+        )
+        for row in interarrival_table(profile, thresholds):
+            rows_table.add_row(
+                row.threshold_ms,
+                row.count,
+                row.mean_interarrival_s,
+                row.std_interarrival_s,
+            )
+        print(rows_table.render())
+    if args.timeline:
+        print()
+        print(event_time_series(profile, width=100, height=12))
+    if args.refresh:
+        adjusted = refresh_adjusted(profile)
+        print()
+        print(
+            f"refresh-adjusted ({DEFAULT_REFRESH_NS / 1e6:.1f} ms raster): "
+            f"mean {adjusted.mean_ms():.2f} ms "
+            f"(measured {profile.mean_ms():.2f} ms)"
+        )
+    return 0
+
+
+def _analyze_trace(data: dict, args) -> int:
+    trace = trace_from_dict(data)
+    table = TextTable(["quantity", "value"], title="idle-loop trace")
+    table.add_row("records", len(trace))
+    table.add_row("span (s)", trace.total_span_ns() / 1e9)
+    table.add_row("busy (ms)", trace.total_busy_ns() / 1e6)
+    table.add_row("loop (ms)", trace.loop_ns / 1e6)
+    print(table.render())
+    print()
+    starts, util = trace.utilization_windows(ns_from_ms(args.windows))
+    print(f"utilization ({args.windows:g} ms windows):")
+    print(utilization_profile(starts, util, width=100, height=10))
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Analyse archived latency profiles and idle-loop traces.",
+    )
+    parser.add_argument("path", help="JSON artifact written by repro.core.serialize")
+    parser.add_argument(
+        "--thresholds",
+        default="",
+        help="comma-separated ms thresholds for interarrival analysis",
+    )
+    parser.add_argument("--bin-ms", type=float, default=5.0, help="histogram bin")
+    parser.add_argument(
+        "--timeline", action="store_true", help="render the event time series"
+    )
+    parser.add_argument(
+        "--refresh", action="store_true", help="report refresh-adjusted latency"
+    )
+    parser.add_argument(
+        "--windows", type=float, default=10.0, help="trace utilization window (ms)"
+    )
+    args = parser.parse_args(argv)
+    data = load_json(args.path)
+    kind = data.get("kind")
+    if kind == "latency-profile":
+        return _analyze_profile(data, args)
+    if kind == "sample-trace":
+        return _analyze_trace(data, args)
+    print(f"unsupported artifact kind {kind!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Application substrate: models of the measured interactive programs."""
+
+from .base import InteractiveApp
+from .echo import EchoApp
+from .notepad import NotepadApp
+from .ole import OleServer
+from .shell import ShellApp
+from .slides import SlidesApp
+from .terminal import TerminalApp
+from .wordproc import WordApp
+
+__all__ = [
+    "EchoApp",
+    "InteractiveApp",
+    "NotepadApp",
+    "OleServer",
+    "ShellApp",
+    "SlidesApp",
+    "TerminalApp",
+    "WordApp",
+]

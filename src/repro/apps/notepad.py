@@ -1,0 +1,116 @@
+"""Microsoft Notepad model.
+
+"Notepad is a simple editor for ASCII text ... Our Notepad benchmark
+models an editing session on a 56KB text file, which includes text
+entry of 1300 characters at approximately 100 words per minute, as well
+as cursor and page movement." (Section 5.1.)
+
+Cost structure, chosen to reproduce the Figure 7 shapes:
+
+* printable keystrokes are cheap (< 10 ms on the testbed) — a buffer
+  insert plus one glyph draw; these contribute over 80 % of the task's
+  cumulative latency purely by count;
+* Enter and PageDown refresh all or part of the screen (the >= 28 ms
+  events of Figure 7) — a burst of per-line GDI drawing;
+* virtually all activity is synchronous, which is what makes Notepad
+  the clean demonstration case for the idle-loop methodology.
+
+The glyph-draw path is GDI-flush dominated, so Windows 95's cheap
+no-crossing GDI beats both NTs per keystroke (smallest cumulative
+latency) even though its elapsed time is inflated by WM_QUEUESYNC
+processing — the Figure 7 anomaly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..winsys.syscalls import Syscall
+from .base import InteractiveApp
+
+__all__ = ["NotepadApp"]
+
+
+class NotepadApp(InteractiveApp):
+    """Plain-text editor: insert, echo, scroll, page."""
+
+    name = "notepad"
+    #: Buffer insertion per printable character (app-private).
+    INSERT_BASE = 60_000
+    #: Drawing the echoed glyph (one batched GDI op).
+    GLYPH_DRAW_BASE = 320_000
+    #: Lines repainted by a newline scroll / page-down refresh.
+    REFRESH_LINES = 25
+    #: Per-line repaint cost (one GDI op each).
+    LINE_DRAW_BASE = 100_000
+    #: Scroll bookkeeping before a refresh.
+    SCROLL_BASE = 150_000
+    #: Caret move for arrow keys.
+    CARET_BASE = 90_000
+    #: Backspace: delete plus repaint of the line tail.
+    BACKSPACE_DRAW_BASE = 420_000
+
+    VISIBLE_COLUMNS = 78
+
+    def __init__(self, system, document_bytes: int = 56 * 1024) -> None:
+        super().__init__(system)
+        self.document_bytes = document_bytes
+        self.cursor = 0
+        self.length = document_bytes
+        self.keystrokes = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Keystroke handling
+    # ------------------------------------------------------------------
+    def on_char(self, char: str) -> Iterator[Syscall]:
+        self.keystrokes += 1
+        if char == "\n":
+            yield from self._newline()
+            return
+        yield self.app_compute(self.INSERT_BASE, label="np-insert")
+        yield self.draw(self.GLYPH_DRAW_BASE, pixels=12 * 16, label="np-glyph")
+        self.cursor += 1
+        self.length += 1
+
+    def on_key(self, key: str) -> Iterator[Syscall]:
+        self.keystrokes += 1
+        if key in ("Left", "Right", "Up", "Down"):
+            yield self.app_compute(20_000, label="np-caret-move")
+            yield self.draw(self.CARET_BASE, pixels=2 * 16, label="np-caret")
+        elif key in ("PageDown", "PageUp"):
+            yield from self._refresh_screen("np-page")
+        elif key == "Enter":
+            yield from self._newline()
+        elif key == "Backspace":
+            yield self.app_compute(self.INSERT_BASE, label="np-delete")
+            yield self.draw(self.BACKSPACE_DRAW_BASE, pixels=400 * 16, label="np-bs")
+            self.cursor = max(0, self.cursor - 1)
+            self.length = max(0, self.length - 1)
+        elif len(key) == 1:
+            # Printable; the WM_CHAR that follows does the work.
+            yield self.app_compute(4_000, label="np-translate")
+        else:
+            yield from super().on_key(key)
+
+    def on_keyup(self, key: str) -> Iterator[Syscall]:
+        yield self.user_compute(12_000, label="np-keyup")
+
+    # ------------------------------------------------------------------
+    # Screen refresh (the long-latency keystroke class of Figure 7)
+    # ------------------------------------------------------------------
+    def _newline(self) -> Iterator[Syscall]:
+        yield self.app_compute(self.SCROLL_BASE, label="np-scroll")
+        yield from self._refresh_screen("np-newline")
+        self.cursor += 1
+        self.length += 1
+
+    def _refresh_screen(self, label: str) -> Iterator[Syscall]:
+        self.refreshes += 1
+        for _line in range(self.REFRESH_LINES):
+            yield self.draw(
+                self.LINE_DRAW_BASE,
+                pixels=self.VISIBLE_COLUMNS * 12 * 16,
+                label=label,
+            )
+        yield self.flush_gdi()

@@ -1,0 +1,91 @@
+"""OLE embedded-object edit sessions.
+
+The PowerPoint task "finds and modifies three OLE embedded Excel graph
+objects" (Section 5.2).  Starting an edit session launches the object's
+server (the embedded Excel graph editor): the first launch reads the
+server image from disk cold; later launches find most of it in the
+buffer cache — "the effects of the file system cache are most clearly
+observed in the latency for starting the second OLE edit".  The session
+model reads a *working set* of the image (full on first activation,
+a fraction afterwards), runs server initialization (full init first,
+a cheaper re-init later) and renders the in-place editing window.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..winsys.loader import ProgramImage
+from ..winsys.syscalls import Compute, SyncRead, Syscall
+from ..winsys.system import WindowsSystem
+
+__all__ = ["OleServer"]
+
+
+class OleServer:
+    """The embedded Excel-graph editor, shared across edit sessions."""
+
+    IMAGE_BYTES = 11 * 1024 * 1024
+    #: Full server initialization (GUI path; first activation).
+    INIT_GUI_BASE = 170_000_000
+    #: Re-initialization for later activations (editor window only).
+    REINIT_GUI_BASE = 60_000_000
+    #: Loading and binding one embedded object (OS-independent).
+    OBJECT_LOAD_BASE = 30_000_000
+    #: Rendering the in-place editing window.
+    RENDER_GUI_BASE = 10_000_000
+    #: Fraction of the image touched by activations after the first.
+    WARM_WORKING_SET = 0.60
+    #: Each activation leaks a little state the next one walks over —
+    #: the paper saw "all of the events and the cycle counter increased
+    #: steadily on subsequent runs" and speculated "this behavior is
+    #: unintended" (Section 5.3); the harness handles it by keeping the
+    #: first trial only.
+    SESSION_CREEP_CYCLES = 1_500_000
+    READ_CHUNK_BYTES = 64 * 1024
+
+    def __init__(self, system: WindowsSystem, name: str = "excel-graph") -> None:
+        self.system = system
+        self.personality = system.personality
+        self.image = ProgramImage.create(
+            system.filesystem,
+            name,
+            self.IMAGE_BYTES,
+            init_gui_cycles=0,  # the server manages its own init costs
+        )
+        self.activations = 0
+
+    def start_edit(self) -> Iterator[Syscall]:
+        """Generator: everything between the user's double-click and a
+        ready editing window."""
+        first = self.activations == 0
+        self.activations += 1
+        fraction = 1.0 if first else self.WARM_WORKING_SET
+        to_read = int(self.image.file.size_bytes * fraction)
+        offset = 0
+        while offset < to_read:
+            length = min(self.READ_CHUNK_BYTES, to_read - offset)
+            yield SyncRead(self.image.file, offset, length)
+            offset += length
+        if first:
+            init = self.INIT_GUI_BASE
+        else:
+            init = self.REINIT_GUI_BASE + self.SESSION_CREEP_CYCLES * (
+                self.activations - 2
+            )
+        yield Compute(self.personality.gui_work(init, label="ole-init"))
+        yield Compute(
+            self.personality.app_work(self.OBJECT_LOAD_BASE, label="ole-object")
+        )
+        yield Compute(
+            self.personality.gui_work(self.RENDER_GUI_BASE, label="ole-render")
+        )
+
+    def modify_object(self) -> Iterator[Syscall]:
+        """One Excel operation on the open object (sub-second event)."""
+        yield Compute(self.personality.gui_work(3_500_000, label="ole-modify-gui"))
+        yield Compute(self.personality.app_work(3_000_000, label="ole-modify-calc"))
+
+    def end_edit(self) -> Iterator[Syscall]:
+        """Deactivate in-place editing; redraw the host page region."""
+        yield Compute(self.personality.gui_work(1_500_000, label="ole-close"))

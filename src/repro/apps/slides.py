@@ -1,0 +1,179 @@
+"""Microsoft PowerPoint model.
+
+Section 5.2's task: start PowerPoint on a cold machine, load a 46-page,
+530 KB presentation, and find and modify three embedded Excel graph
+objects.  The cost structure targets the paper's findings:
+
+* the six Table 1 events over one second are all disk-bound (cold
+  program-image and document reads, write-through saves);
+* page-down and Excel operations stay under one second (Figure 8);
+* the page-down to an OLE page and the OLE edit start are the two
+  application microbenchmarks of Section 5.3, whose hardware-counter
+  profiles separate the three systems (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from ..sim.timebase import ns_from_ms
+from ..winsys.loader import ProgramImage, load_image
+from ..winsys.syscalls import Compute, SyncRead, SyncWrite, Syscall
+from .base import InteractiveApp
+from .ole import OleServer
+
+__all__ = ["SlidesApp"]
+
+
+class SlidesApp(InteractiveApp):
+    """Presentation editor with embedded OLE graph objects."""
+
+    name = "powerpoint"
+    IMAGE_BYTES = 10 * 1024 * 1024
+    INIT_GUI_BASE = 230_000_000
+    DOCUMENT_BYTES = 530 * 1024
+    PAGES = 46
+    #: Pages carrying an embedded Excel graph object.
+    OLE_PAGES: Set[int] = {5, 20, 35}
+    #: Rendering one page (GUI path).
+    RENDER_GUI_BASE = 12_000_000
+    #: Extra rendering for an embedded graph.
+    RENDER_OLE_EXTRA = 2_000_000
+    #: Batched GDI ops per page repaint.
+    PAGE_DRAW_OPS = 16
+    PAGE_DRAW_OP_BASE = 250_000
+    #: Import/parse on open.
+    OPEN_PARSE_APP_BASE = 150_000_000
+    OPEN_CONVERT_GUI_BASE = 120_000_000
+    OPEN_DIALOG_GUI_BASE = 25_000_000
+    #: Save: serialization plus scattered write-through writes.
+    SAVE_SERIALIZE_APP_BASE = 450_000_000
+    SAVE_PROGRESS_GUI_BASE = 30_000_000
+    SAVE_WRITE_COUNT = 250
+    SAVE_WRITE_BYTES = 8 * 1024
+    READ_CHUNK_BYTES = 64 * 1024
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self.image = ProgramImage.create(
+            system.filesystem,
+            "powerpnt",
+            self.IMAGE_BYTES,
+            init_gui_cycles=self.INIT_GUI_BASE,
+        )
+        self.document = system.filesystem.ensure(
+            "presentation.ppt", self.DOCUMENT_BYTES
+        )
+        self.scratch = system.filesystem.ensure(
+            "pptXXXX.tmp", max(self.DOCUMENT_BYTES * 2,
+                               self.SAVE_WRITE_COUNT * self.SAVE_WRITE_BYTES)
+        )
+        self.ole = OleServer(system)
+        self.page = 0
+        self.document_open = False
+        self.started = False
+        self.editing_object: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Commands (menu / shell actions posted as WM_COMMAND)
+    # ------------------------------------------------------------------
+    def on_command(self, command) -> Iterator[Syscall]:
+        action = command[0] if isinstance(command, tuple) else command
+        if action == "launch":
+            yield from self._launch()
+        elif action == "open":
+            yield from self._open_document()
+        elif action == "save":
+            yield from self._save_document()
+        elif action == "ole_edit":
+            yield from self._start_ole_edit()
+        elif action == "ole_modify":
+            yield from self.ole.modify_object()
+        elif action == "ole_close":
+            yield from self._end_ole_edit()
+        else:
+            yield from super().on_command(command)
+
+    def on_key(self, key: str) -> Iterator[Syscall]:
+        if key == "PageDown":
+            yield from self.page_down()
+        elif key == "PageUp":
+            yield from self._render_page(max(0, self.page - 1))
+        else:
+            yield from super().on_key(key)
+
+    def on_keyup(self, key: str) -> Iterator[Syscall]:
+        yield self.user_compute(15_000, label="ppt-keyup")
+
+    # ------------------------------------------------------------------
+    # The Table 1 long-latency operations
+    # ------------------------------------------------------------------
+    def _launch(self) -> Iterator[Syscall]:
+        """Cold application start (Table 1: "Start Powerpoint")."""
+        yield from load_image(
+            self.personality, self.image, chunk_bytes=self.READ_CHUNK_BYTES
+        )
+        self.started = True
+
+    def _open_document(self) -> Iterator[Syscall]:
+        """Table 1: "Open document"."""
+        yield self.gui_compute(self.OPEN_DIALOG_GUI_BASE, label="ppt-open-dialog")
+        offset = 0
+        while offset < self.document.size_bytes:
+            length = min(16 * 1024, self.document.size_bytes - offset)
+            yield SyncRead(self.document, offset, length)
+            offset += length
+        yield self.app_compute(self.OPEN_PARSE_APP_BASE, label="ppt-parse")
+        yield self.gui_compute(self.OPEN_CONVERT_GUI_BASE, label="ppt-convert")
+        self.document_open = True
+        self.page = 0
+        yield from self._render_page(0)
+
+    def _save_document(self) -> Iterator[Syscall]:
+        """Table 1: "Save document" — the longest event on both NTs.
+
+        Serialization interleaves with scattered write-through writes;
+        the personality's ``save_write_factor`` (> 1 on NT 4.0) scales
+        the write count, reproducing Table 1's inversion where NT 4.0
+        saves *slower* than NT 3.51.
+        """
+        writes = round(self.SAVE_WRITE_COUNT * self.personality.save_write_factor)
+        serialize_chunk = self.SAVE_SERIALIZE_APP_BASE // writes
+        scratch_span = self.scratch.size_bytes - self.SAVE_WRITE_BYTES
+        for index in range(writes):
+            yield self.app_compute(serialize_chunk, label="ppt-serialize")
+            offset = (index * 37 * self.SAVE_WRITE_BYTES) % max(
+                scratch_span, self.SAVE_WRITE_BYTES
+            )
+            yield SyncWrite(self.scratch, offset, self.SAVE_WRITE_BYTES)
+        yield self.gui_compute(self.SAVE_PROGRESS_GUI_BASE, label="ppt-save-progress")
+
+    def _start_ole_edit(self) -> Iterator[Syscall]:
+        """Table 1: "Start OLE edit session" (first/second/third)."""
+        yield from self.ole.start_edit()
+        self.editing_object = self.page
+
+    def _end_ole_edit(self) -> Iterator[Syscall]:
+        yield from self.ole.end_edit()
+        self.editing_object = None
+        yield from self._render_page(self.page)
+
+    # ------------------------------------------------------------------
+    # Sub-second operations (Figure 8 / Figures 9-10 microbenchmarks)
+    # ------------------------------------------------------------------
+    def page_down(self) -> Iterator[Syscall]:
+        """Advance one page and render it (the Figure 9 microbenchmark)."""
+        self.page = min(self.PAGES - 1, self.page + 1)
+        yield from self._render_page(self.page)
+
+    def _render_page(self, page: int) -> Iterator[Syscall]:
+        base = self.RENDER_GUI_BASE
+        if page in self.OLE_PAGES:
+            base += self.RENDER_OLE_EXTRA
+        yield self.gui_compute(base, label="ppt-render")
+        for _op in range(self.PAGE_DRAW_OPS):
+            yield self.draw(
+                self.PAGE_DRAW_OP_BASE, pixels=640 * 480 // self.PAGE_DRAW_OPS,
+                label="ppt-page-draw",
+            )
+        yield self.flush_gdi()

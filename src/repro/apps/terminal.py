@@ -1,0 +1,58 @@
+"""Network terminal application.
+
+A telnet-style receive window for the paper's *other* event class
+(Section 1.1: "network packet arrival").  Each arriving packet is
+parsed, appended to the scrollback and echoed to the screen; a full
+screen of lines triggers a scroll refresh, giving the same
+short-event/long-event structure the keyboard applications show.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..winsys.syscalls import Syscall
+from .base import InteractiveApp
+
+__all__ = ["TerminalApp"]
+
+
+class TerminalApp(InteractiveApp):
+    """Renders arriving packets as terminal lines."""
+
+    name = "terminal"
+    #: Protocol/application parsing per packet byte (app-private).
+    PARSE_PER_BYTE = 120
+    #: Rendering the received line (one batched GDI op).
+    LINE_DRAW_BASE = 260_000
+    #: Lines on screen before a scroll refresh.
+    SCREEN_LINES = 24
+    #: Scroll refresh (per line repaint).
+    SCROLL_LINE_BASE = 100_000
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self.lines_received = 0
+        self.scrolls = 0
+
+    def start(self, foreground: bool = True, priority=None):
+        thread = super().start(
+            foreground=foreground,
+            **({"priority": priority} if priority is not None else {}),
+        )
+        self.system.bind_socket(thread)
+        return thread
+
+    def on_socket(self, packet) -> Iterator[Syscall]:
+        self.lines_received += 1
+        yield self.app_compute(
+            self.PARSE_PER_BYTE * packet.size_bytes, label="term-parse"
+        )
+        yield self.draw(self.LINE_DRAW_BASE, pixels=80 * 16, label="term-line")
+        if self.lines_received % self.SCREEN_LINES == 0:
+            self.scrolls += 1
+            for _line in range(self.SCREEN_LINES):
+                yield self.draw(
+                    self.SCROLL_LINE_BASE, pixels=80 * 16, label="term-scroll"
+                )
+            yield self.flush_gdi()

@@ -1,0 +1,192 @@
+"""The three graphical representations of Section 3.2, as data.
+
+"First, we present histograms, showing the number of events
+corresponding to each measured latency. ... Next, we integrate over the
+histogram presenting a cumulative latency graph. ... Finally, we plot
+the cumulative latency as a function of the number of events. ... Note
+that in each of these cases, the events are sorted by their duration,
+not by their actual time of occurrence."
+
+Each function returns plain arrays so the terminal renderer, tests and
+benches consume the same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .latency import LatencyProfile
+
+__all__ = [
+    "by_event_class",
+    "class_summary_table",
+    "latency_histogram",
+    "cumulative_latency_curve",
+    "cumulative_vs_events",
+    "distribution_distance",
+    "variance_summary",
+    "HistogramData",
+]
+
+
+@dataclass
+class HistogramData:
+    """Event counts per latency bin."""
+
+    bin_edges_ms: np.ndarray  # length n+1
+    counts: np.ndarray  # length n
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def nonzero_bins(self) -> List[Tuple[float, float, int]]:
+        out = []
+        for i in np.nonzero(self.counts)[0]:
+            out.append(
+                (float(self.bin_edges_ms[i]), float(self.bin_edges_ms[i + 1]), int(self.counts[i]))
+            )
+        return out
+
+
+def latency_histogram(
+    profile: LatencyProfile,
+    bin_ms: float = 2.0,
+    max_ms: Optional[float] = None,
+) -> HistogramData:
+    """Histogram of event latencies (Figure 7/8/11 top panels).
+
+    The paper plots these with a logarithmic count axis; the renderer
+    handles that — the data here are plain counts.
+    """
+    if bin_ms <= 0:
+        raise ValueError("bin_ms must be positive")
+    latencies = profile.latencies_ms
+    top = max_ms if max_ms is not None else (latencies.max() if len(latencies) else bin_ms)
+    top = max(top, bin_ms)
+    edges = np.arange(0.0, top + bin_ms, bin_ms)
+    counts, edges = np.histogram(latencies, bins=edges)
+    return HistogramData(bin_edges_ms=edges, counts=counts)
+
+
+def cumulative_latency_curve(profile: LatencyProfile) -> Tuple[np.ndarray, np.ndarray]:
+    """(sorted latency, cumulative latency) — the middle panels.
+
+    "This provides the quantitative data indicating how events of a
+    particular duration contribute to the overall time required to
+    complete a task."
+    """
+    latencies = np.sort(profile.latencies_ms)
+    return latencies, np.cumsum(latencies)
+
+
+def cumulative_vs_events(profile: LatencyProfile) -> Tuple[np.ndarray, np.ndarray]:
+    """(event index, cumulative latency with events sorted by duration).
+
+    The bottom panels: "an intuition about the variance in response
+    time perceived by the user" — a straight segment means events of
+    that class contribute equally; kinks mark class boundaries.
+    """
+    latencies = np.sort(profile.latencies_ms)
+    index = np.arange(1, len(latencies) + 1)
+    return index, np.cumsum(latencies)
+
+
+def default_event_class(event) -> str:
+    """Classify an event by its triggering input.
+
+    Printable keystrokes collapse into one class; named keys, commands
+    and packets keep their identity — matching how the paper discusses
+    event classes ("the keystrokes that generate printable ASCII
+    characters" vs "page down or newline operations", Section 5.1).
+    """
+    key = event.first_input
+    if key is None:
+        if any("WM_TIMER" in kind for kind in event.message_kinds):
+            return "timer"
+        return "other"
+    if isinstance(key, str):
+        if len(key) == 1:
+            return "printable"
+        return key
+    if isinstance(key, tuple):
+        return str(key[0])
+    return type(key).__name__
+
+
+def by_event_class(profile: LatencyProfile, key=default_event_class):
+    """Split a profile into per-class sub-profiles (ordered by count)."""
+    groups = {}
+    for event in profile:
+        groups.setdefault(key(event), []).append(event)
+    return {
+        name: LatencyProfile(events, name=f"{profile.name}:{name}")
+        for name, events in sorted(
+            groups.items(), key=lambda item: -len(item[1])
+        )
+    }
+
+
+def class_summary_table(profile: LatencyProfile, key=default_event_class):
+    """Per-class count/mean/max/total table (lazy import avoids cycles)."""
+    from .report import TextTable
+
+    table = TextTable(
+        ["class", "events", "mean ms", "max ms", "total ms", "share %"],
+        title=f"event classes for {profile.name!r}",
+    )
+    total_ns = max(profile.total_latency_ns, 1)
+    for name, group in by_event_class(profile, key).items():
+        table.add_row(
+            name,
+            len(group),
+            group.mean_ms(),
+            group.max_ms(),
+            group.total_latency_ns / 1e6,
+            group.total_latency_ns / total_ns * 100,
+        )
+    return table
+
+
+def distribution_distance(a: LatencyProfile, b: LatencyProfile) -> float:
+    """Kolmogorov-Smirnov distance between two latency distributions.
+
+    The paper's repeatability claim — "the event latency distributions
+    were virtually identical" (Section 5) — as a number: 0.0 means
+    identical empirical CDFs, 1.0 means disjoint.
+    """
+    xs = np.sort(a.latencies_ms)
+    ys = np.sort(b.latencies_ms)
+    if len(xs) == 0 or len(ys) == 0:
+        return 0.0 if len(xs) == len(ys) else 1.0
+    grid = np.union1d(xs, ys)
+    cdf_a = np.searchsorted(xs, grid, side="right") / len(xs)
+    cdf_b = np.searchsorted(ys, grid, side="right") / len(ys)
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def variance_summary(profile: LatencyProfile) -> dict:
+    """Mean/std/max plus the perception-threshold split (Section 3.1)."""
+    latencies = profile.latencies_ms
+    if len(latencies) == 0:
+        return {
+            "count": 0,
+            "mean_ms": 0.0,
+            "std_ms": 0.0,
+            "max_ms": 0.0,
+            "total_ms": 0.0,
+            "above_100ms": 0,
+            "above_2s": 0,
+        }
+    return {
+        "count": int(len(latencies)),
+        "mean_ms": float(latencies.mean()),
+        "std_ms": float(latencies.std()),
+        "max_ms": float(latencies.max()),
+        "total_ms": float(latencies.sum()),
+        "above_100ms": int((latencies > 100.0).sum()),
+        "above_2s": int((latencies > 2000.0).sum()),
+    }

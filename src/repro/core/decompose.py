@@ -1,0 +1,160 @@
+"""Input-latency decomposition.
+
+Figure 1 shows a single keystroke's latency splitting into stages the
+traditional method cannot see.  This module generalizes that argument
+to a whole benchmark run, splitting each measured event into:
+
+* **pipeline** — hardware injection to message post (ISR + input
+  dispatching, the time "required to process the interrupt");
+* **queue wait** — message post to retrieval ("reschedule the
+  benchmark thread", plus any backlog ahead of the event);
+* **handling** — retrieval to the system going idle (what the
+  application-level timestamps of Figure 1 approximately measure).
+
+Injection timestamps come from the driver; post/retrieval timestamps
+ride on the messages the monitor already logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.timebase import ns_from_ms
+from .latency import LatencyEvent, LatencyProfile
+from .msgmon import MessageApiMonitor
+from .report import TextTable
+
+__all__ = ["EventDecomposition", "DecompositionSummary", "decompose_events"]
+
+
+@dataclass
+class EventDecomposition:
+    """One event's stage split (all nanoseconds)."""
+
+    event: LatencyEvent
+    inject_ns: int
+    pipeline_ns: int
+    queue_wait_ns: int
+    handling_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        return self.pipeline_ns + self.queue_wait_ns + self.handling_ns
+
+
+@dataclass
+class DecompositionSummary:
+    """Aggregate stage statistics over a run."""
+
+    events: List[EventDecomposition]
+
+    def _mean(self, attribute: str) -> float:
+        if not self.events:
+            return 0.0
+        return float(np.mean([getattr(e, attribute) for e in self.events]))
+
+    @property
+    def mean_pipeline_ms(self) -> float:
+        return self._mean("pipeline_ns") / 1e6
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        return self._mean("queue_wait_ns") / 1e6
+
+    @property
+    def mean_handling_ms(self) -> float:
+        return self._mean("handling_ns") / 1e6
+
+    @property
+    def invisible_fraction(self) -> float:
+        """Share of latency the getchar-style measurement misses."""
+        total = (
+            self.mean_pipeline_ms + self.mean_queue_wait_ms + self.mean_handling_ms
+        )
+        if total == 0:
+            return 0.0
+        return (self.mean_pipeline_ms + self.mean_queue_wait_ms) / total
+
+    def table(self) -> TextTable:
+        table = TextTable(
+            ["stage", "mean ms", "share %"],
+            title=f"input-latency decomposition ({len(self.events)} events)",
+        )
+        total = max(
+            self.mean_pipeline_ms + self.mean_queue_wait_ms + self.mean_handling_ms,
+            1e-12,
+        )
+        table.add_row("pipeline (ISR+dispatch)", self.mean_pipeline_ms,
+                      self.mean_pipeline_ms / total * 100)
+        table.add_row("queue wait", self.mean_queue_wait_ms,
+                      self.mean_queue_wait_ms / total * 100)
+        table.add_row("handling (visible to timestamps)", self.mean_handling_ms,
+                      self.mean_handling_ms / total * 100)
+        return table
+
+
+def decompose_events(
+    profile: LatencyProfile,
+    injections_ns: Sequence[int],
+    monitor: MessageApiMonitor,
+    match_slack_ns: int = ns_from_ms(10),
+) -> DecompositionSummary:
+    """Split each event whose triggering injection can be identified.
+
+    ``injections_ns`` are driver-side input timestamps (keystroke /
+    click / command injection moments), in any order.  An event matches
+    the latest injection no earlier than ``match_slack_ns`` before its
+    start; events without a match (e.g. timer-driven) are skipped.
+    """
+    injections = sorted(injections_ns)
+    out: List[EventDecomposition] = []
+    used = set()
+    for event in profile:
+        injection = _match_injection(
+            injections, used, event.start_ns, match_slack_ns
+        )
+        if injection is None:
+            continue
+        retrievals = [
+            record
+            for record in monitor.retrievals_between(
+                event.start_ns - match_slack_ns, event.end_ns + match_slack_ns
+            )
+            if record.message.from_input and record.message.posted_ns >= injection
+        ]
+        if not retrievals:
+            continue
+        first = retrievals[0].message
+        pipeline = max(0, first.posted_ns - injection)
+        queue_wait = max(0, (first.retrieved_ns or first.posted_ns) - first.posted_ns)
+        handling = max(0, event.end_ns - (first.retrieved_ns or first.posted_ns))
+        out.append(
+            EventDecomposition(
+                event=event,
+                inject_ns=injection,
+                pipeline_ns=pipeline,
+                queue_wait_ns=queue_wait,
+                handling_ns=handling,
+            )
+        )
+    return DecompositionSummary(events=out)
+
+
+def _match_injection(
+    injections: List[int], used: set, start_ns: int, slack_ns: int
+) -> Optional[int]:
+    """Latest unused injection in [start - slack, start + slack]."""
+    best = None
+    for injection in injections:
+        if injection in used:
+            continue
+        if injection > start_ns + slack_ns:
+            break
+        if injection >= start_ns - slack_ns:
+            best = injection
+    if best is not None:
+        used.add(best)
+    return best

@@ -1,0 +1,202 @@
+"""The wait/think finite-state machine of Figure 2.
+
+"By combining CPU status (busy or idle), message queue status (empty or
+non-empty), and status for outstanding synchronous I/O (busy or idle),
+we can speculate during which time intervals the user is waiting."
+
+The FSM's state is the triple of those booleans; the user is *waiting*
+whenever any of the three indicates pending work the user asked for,
+and *thinking* only when all are quiet.  Asynchronous I/O is assumed to
+be background activity (and is not an input), and users are assumed to
+wait for the completion of every event — both simplifications stated in
+Section 2.3.
+
+The classifier consumes a merged, time-ordered stream of state
+transitions (from the idle-loop trace and the system-state probes) and
+produces wait/think spans plus totals, including the paper's
+"unnoticeable wait" refinement: waits shorter than the perception
+threshold are tabulated separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Tuple
+
+from ..sim.timebase import ns_from_ms
+
+__all__ = [
+    "UserState",
+    "StateInput",
+    "Transition",
+    "Span",
+    "WaitThinkFSM",
+    "WaitThinkSummary",
+    "classify_timeline",
+    "spans_to_transitions",
+]
+
+#: Perception threshold (Section 3.1: events <= 0.1 s are imperceptible).
+PERCEPTION_THRESHOLD_NS = ns_from_ms(100)
+
+
+class UserState(Enum):
+    THINK = "think"
+    WAIT = "wait"
+
+
+class StateInput(Enum):
+    """The three FSM inputs of Figure 2."""
+
+    CPU = "cpu"  # busy / idle
+    QUEUE = "queue"  # non-empty / empty
+    SYNC_IO = "sync_io"  # outstanding / none
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One input change: at ``time_ns``, ``which`` became ``active``."""
+
+    time_ns: int
+    which: StateInput
+    active: bool
+
+
+@dataclass
+class Span:
+    """A maximal interval in one user state."""
+
+    state: UserState
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class WaitThinkSummary:
+    """Totals over a classified timeline."""
+
+    wait_ns: int = 0
+    think_ns: int = 0
+    #: Wait spans shorter than the perception threshold ("unnoticeable").
+    unnoticeable_wait_ns: int = 0
+    wait_spans: int = 0
+    think_spans: int = 0
+
+    @property
+    def total_ns(self) -> int:
+        return self.wait_ns + self.think_ns
+
+    @property
+    def wait_fraction(self) -> float:
+        return self.wait_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def noticeable_wait_ns(self) -> int:
+        return self.wait_ns - self.unnoticeable_wait_ns
+
+
+class WaitThinkFSM:
+    """The Figure 2 state machine."""
+
+    def __init__(
+        self,
+        cpu_busy: bool = False,
+        queue_nonempty: bool = False,
+        sync_io: bool = False,
+    ) -> None:
+        self._inputs = {
+            StateInput.CPU: cpu_busy,
+            StateInput.QUEUE: queue_nonempty,
+            StateInput.SYNC_IO: sync_io,
+        }
+
+    @property
+    def state(self) -> UserState:
+        """Waiting iff any input is active; thinking otherwise."""
+        if any(self._inputs.values()):
+            return UserState.WAIT
+        return UserState.THINK
+
+    def input_state(self, which: StateInput) -> bool:
+        return self._inputs[which]
+
+    def apply(self, transition: Transition) -> UserState:
+        """Update one input; returns the (possibly unchanged) state."""
+        self._inputs[transition.which] = transition.active
+        return self.state
+
+
+def classify_timeline(
+    transitions: Iterable[Transition],
+    start_ns: int,
+    end_ns: int,
+    initial: Optional[WaitThinkFSM] = None,
+    perception_threshold_ns: int = PERCEPTION_THRESHOLD_NS,
+) -> Tuple[List[Span], WaitThinkSummary]:
+    """Run the FSM over a transition stream; return spans and totals.
+
+    Transitions outside [start_ns, end_ns] still update the FSM inputs
+    (they carry state) but only in-window time is accounted.
+    """
+    if end_ns < start_ns:
+        raise ValueError("end_ns must be >= start_ns")
+    fsm = initial or WaitThinkFSM()
+    ordered = sorted(transitions, key=lambda t: t.time_ns)
+    spans: List[Span] = []
+    summary = WaitThinkSummary()
+    cursor = start_ns
+    state = fsm.state
+
+    def close_span(until: int) -> None:
+        nonlocal cursor, state
+        clip_start = max(cursor, start_ns)
+        clip_end = min(until, end_ns)
+        if clip_end > clip_start:
+            if spans and spans[-1].state == state and spans[-1].end_ns == clip_start:
+                spans[-1].end_ns = clip_end
+            else:
+                spans.append(Span(state, clip_start, clip_end))
+        cursor = until
+
+    for transition in ordered:
+        if transition.time_ns > cursor:
+            close_span(transition.time_ns)
+        new_state = fsm.apply(transition)
+        if new_state != state:
+            state = new_state
+    if cursor < end_ns:
+        close_span(end_ns)
+
+    for span in spans:
+        if span.state == UserState.WAIT:
+            summary.wait_ns += span.duration_ns
+            summary.wait_spans += 1
+            if span.duration_ns < perception_threshold_ns:
+                summary.unnoticeable_wait_ns += span.duration_ns
+        else:
+            summary.think_ns += span.duration_ns
+            summary.think_spans += 1
+    return spans, summary
+
+
+def spans_to_transitions(
+    spans: Iterable[Tuple[int, int]], which: StateInput
+) -> List[Transition]:
+    """Convert active spans of one input into transition pairs.
+
+    Busy spans come from the idle-loop trace (CPU), the queue probe
+    (QUEUE), or the sync-I/O probe (SYNC_IO); this adapter is how the
+    three measurement sources feed one FSM.
+    """
+    transitions: List[Transition] = []
+    for start, end in spans:
+        if end <= start:
+            continue
+        transitions.append(Transition(start, which, True))
+        transitions.append(Transition(end, which, False))
+    return transitions

@@ -1,0 +1,137 @@
+"""Latency events and profiles.
+
+A :class:`LatencyEvent` is one extracted event-handling episode; a
+:class:`LatencyProfile` is the collection for a benchmark run, with the
+summary statistics the paper reports (counts, totals, means, standard
+deviations, threshold splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.timebase import NS_PER_MS, ms_from_ns
+
+__all__ = ["LatencyEvent", "LatencyProfile"]
+
+
+@dataclass
+class LatencyEvent:
+    """One user-visible event-handling episode."""
+
+    start_ns: int
+    latency_ns: int
+    #: Raw busy time in the episode (>= latency when measurement
+    #: overhead such as WM_QUEUESYNC processing was removed).
+    busy_ns: int = 0
+    #: WM kinds retrieved during the episode (from the message monitor).
+    message_kinds: Tuple[str, ...] = ()
+    #: First input payload (e.g. the key) — labelling aid.
+    first_input: object = None
+    #: Label attached by the experiment (e.g. 'save-document').
+    label: str = ""
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.latency_ns
+
+    @property
+    def latency_ms(self) -> float:
+        return ms_from_ns(self.latency_ns)
+
+    def __repr__(self) -> str:
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<LatencyEvent{tag} @{self.start_ns}ns {self.latency_ms:.2f}ms>"
+
+
+class LatencyProfile:
+    """All events of one benchmark run, ordered by start time."""
+
+    def __init__(self, events: Iterable[LatencyEvent], name: str = "") -> None:
+        self.events: List[LatencyEvent] = sorted(events, key=lambda e: e.start_ns)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+    # ------------------------------------------------------------------
+    # Arrays and statistics
+    # ------------------------------------------------------------------
+    @property
+    def latencies_ns(self) -> np.ndarray:
+        return np.array([e.latency_ns for e in self.events], dtype=np.int64)
+
+    @property
+    def latencies_ms(self) -> np.ndarray:
+        return self.latencies_ns / NS_PER_MS
+
+    @property
+    def start_times_ns(self) -> np.ndarray:
+        return np.array([e.start_ns for e in self.events], dtype=np.int64)
+
+    @property
+    def total_latency_ns(self) -> int:
+        return int(self.latencies_ns.sum()) if self.events else 0
+
+    def mean_ms(self) -> float:
+        return float(self.latencies_ms.mean()) if self.events else 0.0
+
+    def std_ms(self) -> float:
+        return float(self.latencies_ms.std()) if self.events else 0.0
+
+    def median_ms(self) -> float:
+        return float(np.median(self.latencies_ms)) if self.events else 0.0
+
+    def max_ms(self) -> float:
+        return float(self.latencies_ms.max()) if self.events else 0.0
+
+    # ------------------------------------------------------------------
+    # Threshold views
+    # ------------------------------------------------------------------
+    def above(self, threshold_ms: float) -> "LatencyProfile":
+        """Events strictly longer than ``threshold_ms``."""
+        keep = [e for e in self.events if e.latency_ms > threshold_ms]
+        return LatencyProfile(keep, name=f"{self.name}>{threshold_ms}ms")
+
+    def below(self, threshold_ms: float) -> "LatencyProfile":
+        keep = [e for e in self.events if e.latency_ms <= threshold_ms]
+        return LatencyProfile(keep, name=f"{self.name}<={threshold_ms}ms")
+
+    def fraction_of_latency_below(self, threshold_ms: float) -> float:
+        """Share of *cumulative latency* from events <= threshold.
+
+        The Figure 7 statistic: "over 80% of the latency of Notepad is
+        due to low-latency (less than 10 ms) events".
+        """
+        total = self.total_latency_ns
+        if total == 0:
+            return 0.0
+        return self.below(threshold_ms).total_latency_ns / total
+
+    def labelled(self, label: str) -> List[LatencyEvent]:
+        return [e for e in self.events if e.label == label]
+
+    def filter(self, predicate) -> "LatencyProfile":
+        return LatencyProfile(
+            [e for e in self.events if predicate(e)], name=self.name
+        )
+
+    def merged_with(self, other: "LatencyProfile", name: str = "") -> "LatencyProfile":
+        return LatencyProfile(
+            list(self.events) + list(other.events), name=name or self.name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LatencyProfile {self.name!r}: {len(self.events)} events, "
+            f"mean {self.mean_ms():.2f} ms, max {self.max_ms():.2f} ms>"
+        )

@@ -1,0 +1,104 @@
+"""Responsiveness metrics and perception thresholds (Section 3.1).
+
+The paper *declines* to reduce its measurements to one scalar — "we
+modified our plans, and present latency measurements graphically" —
+because the thresholds are event-type- and human-factors-dependent.
+This module keeps that honesty: it implements the summation the paper
+sketches (a penalty accumulated over events exceeding a per-event-type
+threshold) but labels it a proposal, parameterizes every human-factors
+constant, and pairs it with the threshold bookkeeping the paper *does*
+use (0.1 s imperceptible; 2-4 s invariably irritating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .latency import LatencyEvent, LatencyProfile
+
+__all__ = [
+    "IMPERCEPTIBLE_MS",
+    "IRRITATION_MS",
+    "ThresholdBands",
+    "threshold_bands",
+    "ProposedResponsivenessMetric",
+]
+
+#: "Events that complete in 0.1 seconds or less are believed to have
+#: imperceptible latency" (Section 3.1).
+IMPERCEPTIBLE_MS = 100.0
+#: "events in the 2-4 second range invariably irritate users".
+IRRITATION_MS = 2000.0
+
+
+@dataclass
+class ThresholdBands:
+    """Event counts per perception band."""
+
+    imperceptible: int = 0  # <= 0.1 s
+    perceptible: int = 0  # (0.1 s, 2 s]
+    irritating: int = 0  # > 2 s
+
+    @property
+    def total(self) -> int:
+        return self.imperceptible + self.perceptible + self.irritating
+
+
+def threshold_bands(
+    profile: LatencyProfile,
+    imperceptible_ms: float = IMPERCEPTIBLE_MS,
+    irritation_ms: float = IRRITATION_MS,
+) -> ThresholdBands:
+    """Split a profile into the paper's three perception bands."""
+    bands = ThresholdBands()
+    for event in profile:
+        if event.latency_ms <= imperceptible_ms:
+            bands.imperceptible += 1
+        elif event.latency_ms <= irritation_ms:
+            bands.perceptible += 1
+        else:
+            bands.irritating += 1
+    return bands
+
+
+class ProposedResponsivenessMetric:
+    """The Section 3.1 summation, explicitly marked as a proposal.
+
+    score = sum over events of penalty(latency_i - T(type_i)) for
+    events exceeding their type's threshold.  The per-type threshold
+    map and the penalty shape are the open human-factors questions the
+    paper defers to specialists; both are injectable here, and the
+    default configuration should be treated as illustrative, not
+    validated.
+    """
+
+    def __init__(
+        self,
+        default_threshold_ms: float = IMPERCEPTIBLE_MS,
+        thresholds_by_label: Optional[Dict[str, float]] = None,
+        penalty: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        self.default_threshold_ms = default_threshold_ms
+        self.thresholds_by_label = thresholds_by_label or {}
+        #: Linear excess by default; superlinear shapes model growing
+        #: dissatisfaction (one of the paper's open questions).
+        self.penalty = penalty or (lambda excess_ms: excess_ms)
+
+    def threshold_for(self, event: LatencyEvent) -> float:
+        return self.thresholds_by_label.get(event.label, self.default_threshold_ms)
+
+    def score(self, profile: LatencyProfile) -> float:
+        """Total penalty; 0.0 means no event exceeded its threshold."""
+        total = 0.0
+        for event in profile:
+            excess = event.latency_ms - self.threshold_for(event)
+            if excess > 0:
+                total += self.penalty(excess)
+        return total
+
+    def offending_events(self, profile: LatencyProfile) -> LatencyProfile:
+        """The events that contribute to the score."""
+        return profile.filter(
+            lambda event: event.latency_ms > self.threshold_for(event)
+        )

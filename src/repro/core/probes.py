@@ -1,0 +1,111 @@
+"""System-state probes: message-queue and synchronous-I/O observers.
+
+Section 6 asks for "API calls that return information about system
+state such as message queue lengths, I/O queue length, and the types of
+requests on the I/O queue"; Figure 2's FSM needs exactly those inputs.
+The simulated OS provides the subscription points, and these probes
+turn them into time-stamped transition logs and busy/idle spans usable
+by the event extractor and the wait/think FSM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..winsys.system import WindowsSystem
+from ..winsys.threads import SimThread
+
+__all__ = ["SyncIoProbe", "QueueProbe", "spans_overlap_ns", "coverage_fraction"]
+
+
+class SyncIoProbe:
+    """Logs transitions of the outstanding-synchronous-I/O count."""
+
+    def __init__(self, system: WindowsSystem) -> None:
+        self.system = system
+        #: (time_ns, outstanding_count) transition log.
+        self.transitions: List[Tuple[int, int]] = []
+        self._attached = False
+
+    def attach(self) -> None:
+        if self._attached:
+            raise RuntimeError("probe already attached")
+        self._attached = True
+        self.transitions.append((self.system.now, self.system.iomgr.outstanding_sync))
+        self.system.iomgr.add_sync_observer(self._on_change)
+
+    def _on_change(self, outstanding: int) -> None:
+        self.transitions.append((self.system.now, outstanding))
+
+    def busy_spans(self, until_ns: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Spans during which at least one synchronous I/O was pending."""
+        end_time = until_ns if until_ns is not None else self.system.now
+        spans: List[Tuple[int, int]] = []
+        open_since: Optional[int] = None
+        for time_ns, count in self.transitions:
+            if count > 0 and open_since is None:
+                open_since = time_ns
+            elif count == 0 and open_since is not None:
+                if time_ns > open_since:
+                    spans.append((open_since, time_ns))
+                open_since = None
+        if open_since is not None and end_time > open_since:
+            spans.append((open_since, end_time))
+        return spans
+
+
+class QueueProbe:
+    """Logs empty/non-empty transitions of one thread's message queue."""
+
+    def __init__(self, system: WindowsSystem, thread: SimThread) -> None:
+        self.system = system
+        self.thread = thread
+        self.transitions: List[Tuple[int, int]] = []
+        self._attached = False
+
+    def attach(self) -> None:
+        if self._attached:
+            raise RuntimeError("probe already attached")
+        self._attached = True
+        self.transitions.append((self.system.now, len(self.thread.queue)))
+        self.thread.queue.add_observer(self._on_transition)
+
+    def _on_transition(self, _action: str, _message, queue_len: int) -> None:
+        self.transitions.append((self.system.now, queue_len))
+
+    def nonempty_spans(self, until_ns: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Spans during which the queue held at least one message."""
+        end_time = until_ns if until_ns is not None else self.system.now
+        spans: List[Tuple[int, int]] = []
+        open_since: Optional[int] = None
+        for time_ns, queue_len in self.transitions:
+            if queue_len > 0 and open_since is None:
+                open_since = time_ns
+            elif queue_len == 0 and open_since is not None:
+                if time_ns > open_since:
+                    spans.append((open_since, time_ns))
+                open_since = None
+        if open_since is not None and end_time > open_since:
+            spans.append((open_since, end_time))
+        return spans
+
+
+def spans_overlap_ns(spans: List[Tuple[int, int]], lo: int, hi: int) -> int:
+    """Total overlap between sorted, disjoint ``spans`` and [lo, hi]."""
+    if hi <= lo:
+        return 0
+    total = 0
+    for s0, s1 in spans:
+        if s1 <= lo:
+            continue
+        if s0 >= hi:
+            break
+        total += min(s1, hi) - max(s0, lo)
+    return total
+
+
+def coverage_fraction(spans: List[Tuple[int, int]], lo: int, hi: int) -> float:
+    """Fraction of [lo, hi] covered by ``spans``."""
+    if hi <= lo:
+        return 0.0
+    return spans_overlap_ns(spans, lo, hi) / (hi - lo)

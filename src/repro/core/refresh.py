@@ -1,0 +1,114 @@
+"""Display-refresh adjustment (the Section 2.3 deferred effect).
+
+"One problem is that most graphics output devices refresh every
+12-17 ms.  In this research, we do not consider this effect."
+
+This module implements the effect the paper set aside, as an optional
+post-processing step: the user cannot see an update before the first
+display refresh at or after the moment the system finished producing
+it, so *perceived* latency is the measured latency rounded up to the
+next refresh boundary.  For events whose completion phase is uniform
+relative to the raster, the expected penalty is half a refresh period —
+significant against sub-10 ms keystroke handling, negligible against
+multi-second document loads, which is presumably why the paper could
+ignore it for its comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sim.timebase import ns_from_us
+from .latency import LatencyEvent, LatencyProfile
+
+__all__ = ["DEFAULT_REFRESH_NS", "RefreshAdjustment", "refresh_adjusted", "refresh_penalty"]
+
+#: ~72 Hz, inside the paper's 12-17 ms band.
+DEFAULT_REFRESH_NS = ns_from_us(13_900)
+
+
+@dataclass
+class RefreshAdjustment:
+    """Summary of what refresh rounding did to a profile."""
+
+    period_ns: int
+    mean_penalty_ns: float
+    max_penalty_ns: int
+    #: Fraction of events whose perceived latency crossed into at least
+    #: one additional refresh frame.
+    affected_fraction: float
+
+    @property
+    def mean_penalty_ms(self) -> float:
+        return self.mean_penalty_ns / 1e6
+
+
+def _visible_at(end_ns: int, period_ns: int, phase_ns: int) -> int:
+    """First refresh boundary at or after ``end_ns``."""
+    offset = end_ns - phase_ns
+    frames = -(-offset // period_ns)  # ceil division
+    return phase_ns + frames * period_ns
+
+
+def refresh_adjusted(
+    profile: LatencyProfile,
+    period_ns: int = DEFAULT_REFRESH_NS,
+    phase_ns: int = 0,
+    name: Optional[str] = None,
+) -> LatencyProfile:
+    """Perceived-latency profile: each event ends at its next refresh.
+
+    ``phase_ns`` is the raster's offset from time zero (the boundary
+    times are ``phase + k*period``).
+    """
+    if period_ns <= 0:
+        raise ValueError("period_ns must be positive")
+    adjusted = []
+    for event in profile:
+        visible = _visible_at(event.end_ns, period_ns, phase_ns)
+        adjusted.append(
+            LatencyEvent(
+                start_ns=event.start_ns,
+                latency_ns=visible - event.start_ns,
+                busy_ns=event.busy_ns,
+                message_kinds=event.message_kinds,
+                first_input=event.first_input,
+                label=event.label,
+            )
+        )
+    return LatencyProfile(
+        adjusted, name=name if name is not None else f"{profile.name}+refresh"
+    )
+
+
+def refresh_penalty(
+    profile: LatencyProfile,
+    period_ns: int = DEFAULT_REFRESH_NS,
+    phase_ns: int = 0,
+) -> RefreshAdjustment:
+    """Quantify the rounding penalty without building a new profile."""
+    if period_ns <= 0:
+        raise ValueError("period_ns must be positive")
+    if len(profile) == 0:
+        return RefreshAdjustment(
+            period_ns=period_ns,
+            mean_penalty_ns=0.0,
+            max_penalty_ns=0,
+            affected_fraction=0.0,
+        )
+    penalties = np.array(
+        [
+            _visible_at(event.end_ns, period_ns, phase_ns) - event.end_ns
+            for event in profile
+        ],
+        dtype=np.int64,
+    )
+    return RefreshAdjustment(
+        period_ns=period_ns,
+        mean_penalty_ns=float(penalties.mean()),
+        max_penalty_ns=int(penalties.max()),
+        affected_fraction=float((penalties > 0).mean()),
+    )

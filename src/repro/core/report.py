@@ -1,0 +1,73 @@
+"""Aligned-text tables for experiment output.
+
+Every experiment prints the rows of the paper table/figure it
+reproduces; this module keeps that output consistent and dependency-
+free (the harness runs in terminals without plotting stacks, like the
+paper's own tooling did).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["TextTable", "format_quantity"]
+
+
+def format_quantity(value, decimals: int = 2) -> str:
+    """Human-friendly numbers: thousands separators, fixed decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:,.{decimals}f}"
+    return str(value)
+
+
+class TextTable:
+    """Minimal fixed-width table renderer."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> "TextTable":
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([format_quantity(cell) for cell in cells])
+        return self
+
+    def add_rows(self, rows: Iterable[Sequence]) -> "TextTable":
+        for row in rows:
+            self.add_row(*row)
+        return self
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if index == 0:
+                    parts.append(cell.ljust(widths[index]))
+                else:
+                    parts.append(cell.rjust(widths[index]))
+            return "  ".join(parts)
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.columns))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

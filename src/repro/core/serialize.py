@@ -1,0 +1,129 @@
+"""Persistence for measurement artifacts.
+
+Benchmark runs are expensive relative to analysis, and the paper's own
+workflow — capture once, analyse many ways (Table 1, Figure 8 and
+Figure 12 all read one PowerPoint trace) — needs durable artifacts.
+This module round-trips the library's data products through plain JSON:
+
+* :class:`~repro.core.samples.SampleTrace` (idle-loop traces),
+* :class:`~repro.core.latency.LatencyProfile` (extracted events),
+* experiment results (tables/figures/checks, for archival).
+
+JSON keeps the artifacts diffable and tool-friendly; timestamps are
+integer nanoseconds, so round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .latency import LatencyEvent, LatencyProfile
+from .samples import SampleTrace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "experiment_to_dict",
+    "save_json",
+    "load_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: SampleTrace) -> dict:
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "sample-trace",
+        "loop_ns": trace.loop_ns,
+        "times_ns": [int(t) for t in trace.times],
+    }
+
+
+def trace_from_dict(data: dict) -> SampleTrace:
+    if data.get("kind") != "sample-trace":
+        raise ValueError(f"not a sample-trace payload: {data.get('kind')!r}")
+    return SampleTrace(data["times_ns"], loop_ns=data["loop_ns"])
+
+
+def profile_to_dict(profile: LatencyProfile) -> dict:
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "latency-profile",
+        "name": profile.name,
+        "events": [
+            {
+                "start_ns": event.start_ns,
+                "latency_ns": event.latency_ns,
+                "busy_ns": event.busy_ns,
+                "message_kinds": list(event.message_kinds),
+                "first_input": _jsonable(event.first_input),
+                "label": event.label,
+            }
+            for event in profile
+        ],
+    }
+
+
+def profile_from_dict(data: dict) -> LatencyProfile:
+    if data.get("kind") != "latency-profile":
+        raise ValueError(f"not a latency-profile payload: {data.get('kind')!r}")
+    events = [
+        LatencyEvent(
+            start_ns=entry["start_ns"],
+            latency_ns=entry["latency_ns"],
+            busy_ns=entry.get("busy_ns", 0),
+            message_kinds=tuple(entry.get("message_kinds", ())),
+            first_input=entry.get("first_input"),
+            label=entry.get("label", ""),
+        )
+        for entry in data["events"]
+    ]
+    return LatencyProfile(events, name=data.get("name", ""))
+
+
+def experiment_to_dict(result) -> dict:
+    """Archive an :class:`~repro.experiments.ExperimentResult` run
+    (one-way: for records and diffing).  Duck-typed to avoid importing
+    the experiments package from the core library."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "experiment-result",
+        "id": result.id,
+        "title": result.title,
+        "tables": [table.render() for table in result.tables],
+        "figures": list(result.figures),
+        "data": _jsonable(result.data),
+        "checks": [
+            {"name": c.name, "passed": c.passed, "detail": c.detail}
+            for c in result.checks
+        ],
+    }
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment data payloads to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+def save_json(payload: dict, path: Union[str, Path]) -> Path:
+    """Write any of the payload dicts above to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())

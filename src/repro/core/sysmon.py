@@ -1,0 +1,111 @@
+"""Polled system-state sampling (the richer API of Section 6).
+
+"Our measurements could be improved through API calls that return
+information about system state such as message queue lengths, I/O queue
+length, and the types of requests on the I/O queue.  Currently, some of
+this information can be obtained, but it is painful."
+
+:class:`SystemStateSampler` is that API made un-painful: a periodic
+sampler recording message-queue length, outstanding synchronous I/O,
+disk queue depth and CPU occupancy.  It is deliberately *idealized* —
+sampling is free of simulated cost — so it represents the ceiling of
+what richer OS support could provide, against which the paper's
+black-box techniques (idle loop + DLL interposition) can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..sim.timebase import ns_from_ms
+from ..winsys.system import WindowsSystem
+from ..winsys.threads import SimThread
+
+__all__ = ["SystemSnapshot", "SystemStateSampler"]
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """One poll of the observable system state."""
+
+    time_ns: int
+    queue_len: int
+    outstanding_sync_io: int
+    disk_queue_depth: int
+    cpu_busy: bool
+
+
+class SystemStateSampler:
+    """Fixed-period sampler of queue/I/O/CPU state."""
+
+    def __init__(
+        self,
+        system: WindowsSystem,
+        thread: Optional[SimThread] = None,
+        period_ns: int = ns_from_ms(1),
+    ) -> None:
+        if period_ns <= 0:
+            raise ValueError("period_ns must be positive")
+        self.system = system
+        self.thread = thread  # None = the current foreground thread
+        self.period_ns = period_ns
+        self.samples: List[SystemSnapshot] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("sampler already running")
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        kernel = self.system.kernel
+        thread = self.thread or kernel.foreground
+        self.samples.append(
+            SystemSnapshot(
+                time_ns=self.system.now,
+                queue_len=len(thread.queue) if thread is not None else 0,
+                outstanding_sync_io=kernel.iomgr.outstanding_sync,
+                disk_queue_depth=self.system.machine.disk.queue_depth,
+                cpu_busy=self.system.machine.cpu.busy,
+            )
+        )
+        self.system.sim.schedule(self.period_ns, self._tick, label="sysmon")
+
+    # ------------------------------------------------------------------
+    # Span views (sampling-resolution approximations of the probes)
+    # ------------------------------------------------------------------
+    def _spans_where(self, predicate) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        open_since: Optional[int] = None
+        for snapshot in self.samples:
+            if predicate(snapshot):
+                if open_since is None:
+                    open_since = snapshot.time_ns
+            elif open_since is not None:
+                spans.append((open_since, snapshot.time_ns))
+                open_since = None
+        if open_since is not None and self.samples:
+            spans.append((open_since, self.samples[-1].time_ns))
+        return spans
+
+    def queue_nonempty_spans(self) -> List[Tuple[int, int]]:
+        return self._spans_where(lambda s: s.queue_len > 0)
+
+    def sync_io_spans(self) -> List[Tuple[int, int]]:
+        return self._spans_where(lambda s: s.outstanding_sync_io > 0)
+
+    def cpu_busy_spans(self) -> List[Tuple[int, int]]:
+        return self._spans_where(lambda s: s.cpu_busy)
+
+    def max_queue_len(self) -> int:
+        return max((s.queue_len for s in self.samples), default=0)
+
+    def max_disk_queue_depth(self) -> int:
+        return max((s.disk_queue_depth for s in self.samples), default=0)

@@ -1,0 +1,229 @@
+"""Terminal renderings of the paper's plot types.
+
+"Presented with these obstacles, we modified our plans, and present
+latency measurements graphically."  (Section 3.1.)  The four plot
+families:
+
+* event-latency time series (Figures 5 and 12),
+* latency histograms with a logarithmic count axis (Figures 7/8/11 top),
+* cumulative-latency curves (middle panels),
+* CPU-utilization profiles (Figures 3 and 4).
+
+All renderers return plain strings; experiments print them, tests
+assert on their structure, and no plotting stack is required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.timebase import NS_PER_MS, NS_PER_SEC
+from .analysis import HistogramData, cumulative_latency_curve
+from .latency import LatencyProfile
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "event_time_series",
+    "log_histogram",
+    "curve_plot",
+    "cumulative_latency_plot",
+    "utilization_profile",
+]
+
+_FULL = "#"
+_EMPTY = " "
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per (label, value) pair (Figure 6 style)."""
+    if not items:
+        return "(no data)"
+    top = max_value if max_value is not None else max(value for _l, value in items)
+    top = max(top, 1e-12)
+    label_width = max(len(label) for label, _v in items)
+    lines = []
+    for label, value in items:
+        bar = _FULL * max(0, round(width * min(value, top) / top))
+        overflow = ">" if value > top else ""
+        lines.append(
+            f"{label.ljust(label_width)} |{bar}{overflow} {value:,.2f} {unit}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One bar block per metric, bars per system (Figures 9/10 style)."""
+    lines = []
+    for metric, by_system in groups.items():
+        lines.append(f"{metric}:")
+        lines.append(
+            "  "
+            + bar_chart(list(by_system.items()), width=width, unit=unit).replace(
+                "\n", "\n  "
+            )
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def event_time_series(
+    profile: LatencyProfile,
+    start_ns: Optional[int] = None,
+    end_ns: Optional[int] = None,
+    width: int = 100,
+    height: int = 16,
+    threshold_ms: Optional[float] = 100.0,
+    log_scale: bool = True,
+) -> str:
+    """Vertical-bar time series of event latencies (Figure 5).
+
+    Each column covers an equal slice of wall time; the column's bar
+    height encodes the longest event starting in that slice.  An
+    optional horizontal line marks the perception threshold.
+    """
+    if len(profile) == 0:
+        return "(no events)"
+    starts = profile.start_times_ns
+    lat_ms = profile.latencies_ms
+    t0 = start_ns if start_ns is not None else int(starts.min())
+    t1 = end_ns if end_ns is not None else int(starts.max()) + 1
+    if t1 <= t0:
+        t1 = t0 + 1
+    column_peak = np.zeros(width, dtype=float)
+    for start, latency in zip(starts, lat_ms):
+        if not (t0 <= start < t1):
+            continue
+        column = min(width - 1, int((start - t0) * width / (t1 - t0)))
+        column_peak[column] = max(column_peak[column], latency)
+
+    def scale(value: float) -> float:
+        if value <= 0:
+            return 0.0
+        if log_scale:
+            return math.log10(1.0 + value)
+        return value
+
+    peak = max(scale(column_peak.max()), 1e-9)
+    rows: List[str] = []
+    threshold_row = None
+    if threshold_ms is not None:
+        threshold_row = height - 1 - int(
+            min(scale(threshold_ms) / peak, 1.0) * (height - 1)
+        )
+    for row in range(height):
+        cells = []
+        for column in range(width):
+            level = scale(column_peak[column]) / peak
+            filled = level >= (height - row) / height
+            if filled:
+                cells.append("|")
+            elif threshold_row is not None and row == threshold_row:
+                cells.append("-")
+            else:
+                cells.append(_EMPTY)
+        rows.append("".join(cells))
+    axis = f"{(t1 - t0) / NS_PER_SEC:.1f} s span, peak {column_peak.max():.1f} ms"
+    if threshold_ms is not None:
+        axis += f", '-' = {threshold_ms:.0f} ms threshold"
+    rows.append("-" * width)
+    rows.append(axis)
+    return "\n".join(rows)
+
+
+def log_histogram(hist: HistogramData, width: int = 60) -> str:
+    """Histogram with logarithmic counts (Figure 7 note: 'the Y scale
+    in the histogram ... is a logarithmic scale')."""
+    nonzero = hist.nonzero_bins()
+    if not nonzero:
+        return "(no events)"
+    peak = max(math.log10(count + 1) for _lo, _hi, count in nonzero)
+    peak = max(peak, 1e-9)
+    lines = []
+    for lo, hi, count in nonzero:
+        bar = _FULL * max(1, round(width * math.log10(count + 1) / peak))
+        lines.append(f"{lo:8.1f}-{hi:<8.1f} ms |{bar} {count}")
+    return "\n".join(lines)
+
+
+def curve_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 70,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Monotone curve as an ASCII staircase (cumulative panels)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) == 0:
+        return "(no data)"
+    x_span = max(float(xs.max() - xs.min()), 1e-12)
+    y_span = max(float(ys.max() - ys.min()), 1e-12)
+    grid = [[_EMPTY] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = min(width - 1, int((x - xs.min()) / x_span * (width - 1)))
+        row = height - 1 - min(height - 1, int((y - ys.min()) / y_span * (height - 1)))
+        grid[row][column] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"x: {x_label} [{xs.min():,.1f}, {xs.max():,.1f}]   "
+        f"y: {y_label} [{ys.min():,.1f}, {ys.max():,.1f}]"
+    )
+    return "\n".join(lines)
+
+
+def cumulative_latency_plot(profile: LatencyProfile, width: int = 70) -> str:
+    """Convenience wrapper: the middle-panel plot for one profile."""
+    xs, ys = cumulative_latency_curve(profile)
+    return curve_plot(
+        xs, ys, width=width, x_label="event latency (ms, sorted)",
+        y_label="cumulative latency (ms)",
+    )
+
+
+def utilization_profile(
+    times_ns: Sequence[int],
+    utilization: Sequence[float],
+    width: int = 100,
+    height: int = 10,
+) -> str:
+    """CPU-utilization-vs-time strip (Figures 3 and 4)."""
+    times_ns = np.asarray(times_ns, dtype=np.int64)
+    utilization = np.asarray(utilization, dtype=float)
+    if len(times_ns) == 0:
+        return "(no samples)"
+    t0, t1 = int(times_ns.min()), int(times_ns.max()) + 1
+    column_util = np.zeros(width, dtype=float)
+    for time_ns, util in zip(times_ns, utilization):
+        column = min(width - 1, int((time_ns - t0) * width / max(t1 - t0, 1)))
+        column_util[column] = max(column_util[column], util)
+    rows = []
+    for row in range(height):
+        level_needed = (height - row) / height
+        rows.append(
+            "".join(
+                _FULL if column_util[column] >= level_needed else _EMPTY
+                for column in range(width)
+            )
+        )
+    rows.append("-" * width)
+    rows.append(
+        f"{(t1 - t0) / NS_PER_MS:.0f} ms span, peak utilization "
+        f"{column_util.max() * 100:.0f}%"
+    )
+    return "\n".join(rows)

@@ -1,0 +1,22 @@
+"""Per-figure/table experiment drivers.
+
+One module per paper artifact (Figures 1-12, Tables 1-2, the Section
+5.4 comparison) plus three ablations of the methodology's design
+choices.  ``python -m repro.experiments`` runs them all and reports
+shape checks.
+"""
+
+from .common import ALL_OS, NT_OS, Check, ExperimentResult
+from .registry import EXPERIMENTS, TITLES, experiment_ids, run_experiment
+
+__all__ = [
+    "ALL_OS",
+    "Check",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "NT_OS",
+    "TITLES",
+    "experiment_ids",
+    "NT_OS",
+    "run_experiment",
+]

@@ -1,0 +1,86 @@
+"""Figure 11 — Microsoft Word event-latency summary (both NTs).
+
+The Test-driven Word task: ~1000 characters with realistic composing
+pauses, line justification and interactive spell checking enabled.
+Shapes: Word costs far more per keystroke than Notepad; NT 4.0 shows
+uniformly shorter response time *and lower variance* than NT 3.51; on
+both systems most latencies sit below the 0.1 s perception threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analysis import cumulative_vs_events, latency_histogram, variance_summary
+from ..core.report import TextTable
+from ..core.visualize import curve_plot, log_histogram
+from .common import ExperimentResult, NT_OS
+from .word_runs import DEFAULT_CHARS, word_session
+
+ID = "fig11"
+TITLE = "Microsoft Word event-latency summary (NT 3.51 vs NT 4.0)"
+
+
+def run(seed: int = 0, chars: int = DEFAULT_CHARS) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    stats = {}
+    table = TextTable(
+        ["system", "events", "median ms", "mean ms", "std ms", "max ms",
+         "below 100ms %", "elapsed s"],
+        title="Figure 11 summary (Test-driven)",
+    )
+    for os_name in NT_OS:
+        session = word_session(os_name, "mstest", chars=chars, seed=seed)
+        profile = session.profile
+        latencies = profile.latencies_ms
+        summary = variance_summary(profile)
+        below_pct = float((latencies <= 100.0).mean() * 100)
+        stats[os_name] = {
+            **summary,
+            "median_ms": float(np.median(latencies)),
+            "below_100ms_pct": below_pct,
+            "elapsed_s": session.elapsed_s,
+        }
+        table.add_row(
+            os_name,
+            summary["count"],
+            stats[os_name]["median_ms"],
+            summary["mean_ms"],
+            summary["std_ms"],
+            summary["max_ms"],
+            below_pct,
+            session.elapsed_s,
+        )
+        hist = latency_histogram(profile, bin_ms=5.0)
+        result.figures.append(f"{os_name} histogram (log counts):\n" + log_histogram(hist))
+        index, cumulative = cumulative_vs_events(profile)
+        result.figures.append(
+            f"{os_name} cumulative vs events [elapsed {session.elapsed_s:.1f} s]:\n"
+            + curve_plot(index, cumulative, x_label="events", y_label="cum ms")
+        )
+    result.tables.append(table)
+    result.data = stats
+
+    result.check(
+        "NT 4.0 uniformly better response time (lower median and mean)",
+        stats["nt40"]["median_ms"] < stats["nt351"]["median_ms"]
+        and stats["nt40"]["mean_ms"] < stats["nt351"]["mean_ms"],
+        f"median {stats['nt40']['median_ms']:.0f} vs {stats['nt351']['median_ms']:.0f} ms",
+    )
+    result.check(
+        "NT 4.0 lower variance",
+        stats["nt40"]["std_ms"] < stats["nt351"]["std_ms"],
+        f"std {stats['nt40']['std_ms']:.1f} vs {stats['nt351']['std_ms']:.1f} ms",
+    )
+    result.check(
+        "most latencies below the perception threshold on both systems",
+        all(s["below_100ms_pct"] >= 60.0 for s in stats.values()),
+        ", ".join(f"{k}: {v['below_100ms_pct']:.0f}%" for k, v in stats.items()),
+    )
+    result.check(
+        "Word needs far more per keystroke than Notepad (~10x)",
+        all(s["median_ms"] >= 30.0 for s in stats.values()),
+        "medians "
+        + ", ".join(f"{k}: {v['median_ms']:.0f} ms" for k, v in stats.items()),
+    )
+    return result

@@ -1,0 +1,55 @@
+"""Shared PowerPoint task runs.
+
+Table 1, Figure 8 and Figure 12 all analyse the same two benchmark runs
+(the Section 5.2 task on NT 3.51 and NT 4.0).  Runs are deterministic
+given the seed, so they are cached per process the way the paper's
+authors analysed one captured trace multiple ways.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..apps.slides import SlidesApp
+from ..core import MeasurementSession, SessionResult
+from ..workload.tasks import powerpoint_task
+from .common import NT_OS
+
+__all__ = ["powerpoint_sessions", "TABLE1_LABELS", "PAPER_TABLE1"]
+
+#: Script mark -> paper row name, in Table 1 order.
+TABLE1_LABELS = {
+    "save-document": "Save document",
+    "start-powerpoint": "Start Powerpoint",
+    "ole-edit-1": "Start OLE edit session (first time)",
+    "open-document": "Open document",
+    "ole-edit-2": "Start OLE edit session (second object)",
+    "ole-edit-3": "Start OLE edit session (third object)",
+}
+
+#: Paper Table 1 latencies in seconds: label -> (NT 3.51, NT 4.0).
+PAPER_TABLE1 = {
+    "save-document": (8.082, 9.580),
+    "start-powerpoint": (7.166, 5.773),
+    "ole-edit-1": (7.050, 5.844),
+    "open-document": (5.680, 4.151),
+    "ole-edit-2": (2.897, 2.009),
+    "ole-edit-3": (2.697, 1.305),
+}
+
+_cache: Dict[int, Dict[str, SessionResult]] = {}
+
+
+def powerpoint_sessions(seed: int = 0) -> Dict[str, SessionResult]:
+    """The Section 5.2 task on both NTs (cold boot each), cached."""
+    if seed not in _cache:
+        sessions: Dict[str, SessionResult] = {}
+        for os_name in NT_OS:
+            spec = powerpoint_task()
+            session = MeasurementSession(os_name, SlidesApp, seed=seed)
+            sessions[os_name] = session.run(
+                spec.script, default_pause_ms=500.0, max_seconds=2400
+            )
+        _cache[seed] = sessions
+    return _cache[seed]

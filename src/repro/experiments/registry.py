@@ -1,0 +1,82 @@
+"""Experiment registry: every figure/table/ablation, by id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    ablation_batching,
+    ablation_idle_n,
+    ablation_merge,
+    ext_decompose,
+    ext_network,
+    ext_refresh,
+    fig01_validation,
+    fig02_fsm,
+    fig03_idle_profiles,
+    fig04_maximize,
+    fig05_raw_profile,
+    fig06_simple_events,
+    fig07_notepad,
+    fig08_powerpoint,
+    fig09_pagedown_counters,
+    fig10_oleedit_counters,
+    fig11_word,
+    fig12_longevent_series,
+    sec5_repeatability,
+    sec25_interrupt_cost,
+    sec54_test_vs_hand,
+    table1_longevents,
+    table2_interarrival,
+)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]
+
+_MODULES = [
+    fig01_validation,
+    fig02_fsm,
+    fig03_idle_profiles,
+    fig04_maximize,
+    fig05_raw_profile,
+    fig06_simple_events,
+    fig07_notepad,
+    fig08_powerpoint,
+    fig09_pagedown_counters,
+    fig10_oleedit_counters,
+    fig11_word,
+    fig12_longevent_series,
+    table1_longevents,
+    table2_interarrival,
+    sec25_interrupt_cost,
+    sec5_repeatability,
+    sec54_test_vs_hand,
+    ablation_idle_n,
+    ablation_batching,
+    ablation_merge,
+    ext_refresh,
+    ext_network,
+    ext_decompose,
+]
+
+#: id -> run(seed=...) callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    module.ID: module.run for module in _MODULES
+}
+
+#: id -> title, for listings.
+TITLES: Dict[str, str] = {module.ID: module.TITLE for module in _MODULES}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, seed: int = 0, **kwargs) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(seed=seed, **kwargs)

@@ -1,0 +1,97 @@
+"""Command-line experiment runner.
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig7 table1
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from .registry import EXPERIMENTS, TITLES, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Using Latency to Evaluate "
+            "Interactive System Performance' (OSDI '96)."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--checks-only",
+        action="store_true",
+        help="print only the shape-check lines",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="archive each experiment's full result as JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id, title in TITLES.items():
+            print(f"{experiment_id:16s} {title}")
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    save_dir = None
+    if args.save:
+        from pathlib import Path
+
+        save_dir = Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, seed=args.seed)
+        wall = time.time() - started
+        if save_dir is not None:
+            from ..core.serialize import experiment_to_dict, save_json
+
+            save_json(
+                experiment_to_dict(result),
+                save_dir / f"{experiment_id}-seed{args.seed}.json",
+            )
+        if args.checks_only:
+            print(f"=== {result.id}: {result.title} ({wall:.1f}s) ===")
+            for check in result.checks:
+                print(f"  {check}")
+        else:
+            print(result.render())
+            print(f"(wall time {wall:.1f}s)")
+        print()
+        failures += len(result.failed_checks())
+    if failures:
+        print(f"{failures} shape check(s) FAILED", file=sys.stderr)
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

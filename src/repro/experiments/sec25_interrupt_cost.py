@@ -1,0 +1,86 @@
+"""Section 2.5 — interrupt-handling overhead via idle loop + counters.
+
+"By coupling our idle-loop methodology with the Pentium counters, we
+were able to compute the interrupt handling overhead for various
+classes of interrupts ...  the smallest clock interrupt handling
+overhead under Windows NT 4.0 was about 400 cycles."
+
+A fine (50 us) idle loop pairs every trace record with a reading of the
+hardware interrupt counter; sample intervals containing exactly one
+interrupt yield that interrupt's stolen time.  The minimum recovers the
+bare ISR cost; the tail shows the ticks that also ran deferred work.
+"""
+
+from __future__ import annotations
+
+from ..core.isrcost import InterruptCostProbe
+from ..core.report import TextTable
+from ..winsys import boot
+from .common import ALL_OS, ExperimentResult
+
+ID = "sec25"
+TITLE = "Interrupt handling overhead (idle loop x interrupt counter)"
+
+
+def run(seed: int = 0, duration_ms: float = 1500.0) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    table = TextTable(
+        [
+            "system",
+            "interrupts",
+            "min cycles",
+            "median cycles",
+            "p95 cycles",
+            "max cycles",
+        ],
+        title="Section 2.5: per-interrupt stolen time on an idle system",
+    )
+    stats = {}
+    for os_name in ALL_OS:
+        system = boot(os_name, seed=seed)
+        probe = InterruptCostProbe(system, loop_us=50.0)
+        report = probe.measure(duration_ms=duration_ms)
+        stats[os_name] = {
+            "interrupts": report.interrupts_observed,
+            "min_cycles": report.min_cycles,
+            "median_cycles": report.median_cycles,
+            "p95_cycles": report.percentile_cycles(95),
+            "max_cycles": report.max_cycles,
+            "samples": len(report.single_interrupt_cycles),
+        }
+        table.add_row(
+            os_name,
+            report.interrupts_observed,
+            report.min_cycles,
+            report.median_cycles,
+            report.percentile_cycles(95),
+            report.max_cycles,
+        )
+    result.tables.append(table)
+    result.data = stats
+
+    result.check(
+        "NT 4.0 smallest clock-interrupt cost ~400 cycles",
+        380 <= stats["nt40"]["min_cycles"] <= 420,
+        f"{stats['nt40']['min_cycles']} cycles (paper: ~400)",
+    )
+    for os_name in ALL_OS:
+        expected = boot(os_name).personality.clock_isr_cycles
+        result.check(
+            f"{os_name}: measured minimum equals the bare ISR cost",
+            abs(stats[os_name]["min_cycles"] - expected) <= expected * 0.05,
+            f"{stats[os_name]['min_cycles']} vs {expected} configured",
+        )
+    result.check(
+        "one interrupt per 10 ms on every system",
+        all(
+            abs(s["interrupts"] - duration_ms / 10.0) <= 3 for s in stats.values()
+        ),
+        ", ".join(f"{k}: {v['interrupts']}" for k, v in stats.items()),
+    )
+    result.check(
+        "a heavier tail exists (some ticks run deferred work)",
+        all(s["max_cycles"] > 3 * s["min_cycles"] for s in stats.values()),
+        ", ".join(f"{k}: max {v['max_cycles']}" for k, v in stats.items()),
+    )
+    return result

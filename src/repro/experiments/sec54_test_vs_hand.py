@@ -1,0 +1,110 @@
+"""Section 5.4 — Test-driven versus hand-typed Word, and the Win95 break.
+
+The paper's most striking methodology finding: MS Test's WM_QUEUESYNC
+after every keystroke changes Word's behaviour.  Test-driven runs show
+most events at 80-100 ms; hand-typed runs show ~32 ms typical latency
+with a compensating rise in background activity, and hand-typed
+carriage returns exceed 200 ms while Test-driven runs never pass
+~140 ms.  On Windows 95 the system does not become idle after Word
+events at all, making latencies appear seconds long — Word results for
+Win95 are unreportable, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.report import TextTable
+from .common import ExperimentResult
+from .word_runs import DEFAULT_CHARS, word_session
+
+ID = "sec54"
+TITLE = "Word: MS Test vs hand-typing, and the Windows 95 breakage"
+
+
+def _cr_latencies_ms(profile) -> np.ndarray:
+    return np.array(
+        [e.latency_ns / 1e6 for e in profile if e.first_input == "Enter"]
+    )
+
+
+def run(seed: int = 0, chars: int = DEFAULT_CHARS) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    test_run = word_session("nt351", "mstest", chars=chars, seed=seed)
+    hand_run = word_session("nt351", "typist", chars=chars, seed=seed)
+    win95_run = word_session("win95", "mstest", chars=max(60, chars // 12), seed=seed)
+
+    test_lat = test_run.profile.latencies_ms
+    hand_lat = hand_run.profile.latencies_ms
+    test_median = float(np.median(test_lat))
+    hand_median = float(np.median(hand_lat))
+    test_crs = _cr_latencies_ms(test_run.profile)
+    hand_crs = _cr_latencies_ms(hand_run.profile)
+    test_bg_ms = test_run.extraction.background.total_latency_ns / 1e6
+    hand_bg_ms = hand_run.extraction.background.total_latency_ns / 1e6
+    win95_max_ms = win95_run.profile.max_ms()
+
+    table = TextTable(
+        ["quantity", "paper", "Test-driven", "hand-typed"],
+        title="Section 5.4 on NT 3.51",
+    )
+    table.add_row("typical latency (ms)", "80-100 / 32", test_median, hand_median)
+    table.add_row(
+        "carriage returns (ms)",
+        "<=140 / >200",
+        float(test_crs.mean()) if len(test_crs) else 0.0,
+        float(hand_crs.mean()) if len(hand_crs) else 0.0,
+    )
+    table.add_row("max event (ms)", "140 / -", float(test_lat.max()), float(hand_lat.max()))
+    table.add_row("background activity (ms)", "low / high", test_bg_ms, hand_bg_ms)
+    result.tables.append(table)
+
+    win95_table = TextTable(
+        ["quantity", "value"], title="Word on Windows 95 (unreportable)"
+    )
+    win95_table.add_row("events", len(win95_run.profile))
+    win95_table.add_row("max event latency (s)", win95_max_ms / 1000.0)
+    result.tables.append(win95_table)
+
+    result.data = {
+        "test_median_ms": test_median,
+        "hand_median_ms": hand_median,
+        "test_cr_ms": [float(x) for x in test_crs],
+        "hand_cr_ms": [float(x) for x in hand_crs],
+        "test_max_ms": float(test_lat.max()),
+        "test_bg_ms": test_bg_ms,
+        "hand_bg_ms": hand_bg_ms,
+        "win95_max_ms": win95_max_ms,
+    }
+
+    result.check(
+        "Test-driven typical latency in the 80-100 ms band",
+        70.0 <= test_median <= 110.0,
+        f"median {test_median:.0f} ms",
+    )
+    result.check(
+        "hand-typed typical latency ~32 ms",
+        22.0 <= hand_median <= 48.0,
+        f"median {hand_median:.0f} ms",
+    )
+    result.check(
+        "hand-typed CRs exceed 200 ms",
+        len(hand_crs) > 0 and float(np.median(hand_crs)) > 200.0,
+        f"median CR {np.median(hand_crs):.0f} ms" if len(hand_crs) else "no CRs",
+    )
+    result.check(
+        "Test-driven events never pass ~150 ms",
+        float(test_lat.max()) <= 150.0,
+        f"max {test_lat.max():.0f} ms (paper 140 ms)",
+    )
+    result.check(
+        "hand input shows higher background activity",
+        hand_bg_ms > 4 * max(test_bg_ms, 1.0),
+        f"{hand_bg_ms:.0f} vs {test_bg_ms:.0f} ms of background work",
+    )
+    result.check(
+        "Win95 Word latencies appear several seconds long",
+        win95_max_ms >= 2000.0,
+        f"max {win95_max_ms / 1000:.1f} s",
+    )
+    return result

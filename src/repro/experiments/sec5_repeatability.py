@@ -1,0 +1,102 @@
+"""Section 5 — run-to-run repeatability of the task benchmarks.
+
+"We ran each benchmark five times using Microsoft Test and found that
+the results were consistent across runs.  The standard deviations for
+the elapsed times and cumulative CPU busy times were 1-2%, and the
+event latency distributions were virtually identical."
+
+Five Word-task runs with different machine seeds (our only source of
+run-to-run variation: application cost noise and disk geometry draws)
+must show the same consistency: percent-level standard deviations for
+elapsed time and cumulative latency, and virtually identical medians.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..apps.wordproc import WordApp
+from ..core import MeasurementSession
+from ..core.analysis import distribution_distance
+from ..core.report import TextTable
+from ..workload.tasks import word_task
+from .common import ExperimentResult
+
+ID = "sec5-repeat"
+TITLE = "Run-to-run repeatability (five seeds, Word task)"
+
+
+def run(seed: int = 0, runs: int = 5, chars: int = 400) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    elapsed, cumulative, medians, counts, profiles = [], [], [], [], []
+    table = TextTable(
+        ["seed", "events", "elapsed s", "cumulative ms", "median ms"],
+        title=f"{runs} Word-task runs on NT 3.51",
+    )
+    # One script (the paper replays the same MS Test script each run);
+    # only the machine seed varies across runs.
+    spec = word_task(random.Random(seed + 1042), chars=chars)
+    for offset in range(runs):
+        session = MeasurementSession(
+            "nt351", WordApp, seed=seed + offset
+        ).run(spec.script, driver_kind="mstest", max_seconds=7200)
+        profile = session.profile
+        elapsed.append(session.elapsed_s)
+        cumulative.append(profile.total_latency_ns / 1e6)
+        medians.append(float(np.median(profile.latencies_ms)))
+        counts.append(len(profile))
+        profiles.append(profile)
+        table.add_row(
+            seed + offset,
+            len(profile),
+            session.elapsed_s,
+            profile.total_latency_ns / 1e6,
+            medians[-1],
+        )
+    result.tables.append(table)
+
+    elapsed = np.array(elapsed)
+    cumulative = np.array(cumulative)
+    medians = np.array(medians)
+    elapsed_cv = float(elapsed.std() / elapsed.mean())
+    cumulative_cv = float(cumulative.std() / cumulative.mean())
+    median_spread = float((medians.max() - medians.min()) / medians.mean())
+    result.data = {
+        "elapsed_cv": elapsed_cv,
+        "cumulative_cv": cumulative_cv,
+        "median_spread": median_spread,
+        "counts": counts,
+    }
+
+    result.check(
+        "elapsed-time standard deviation at the paper's 1-2% level",
+        elapsed_cv <= 0.03,
+        f"cv {elapsed_cv * 100:.2f}%",
+    )
+    result.check(
+        "cumulative-latency standard deviation at the paper's level",
+        cumulative_cv <= 0.04,
+        f"cv {cumulative_cv * 100:.2f}%",
+    )
+    result.check(
+        "latency distributions virtually identical (medians within 5%)",
+        median_spread <= 0.05,
+        f"median spread {median_spread * 100:.2f}%",
+    )
+    result.check(
+        "identical event counts (same script every run)",
+        len(set(counts)) == 1,
+        f"{counts}",
+    )
+    ks = max(
+        distribution_distance(profiles[0], other) for other in profiles[1:]
+    )
+    result.data["max_ks_distance"] = ks
+    result.check(
+        "distributions virtually identical (KS distance small)",
+        ks <= 0.10,
+        f"max KS distance {ks:.3f}",
+    )
+    return result

@@ -1,0 +1,109 @@
+"""Table 2 — interarrival distributions of long Word events (NT 3.51).
+
+Above-threshold analysis of the Test-driven Word profile at 100, 110
+and 120 ms.  The paper's observations this experiment asserts:
+
+* raising the threshold 10% (100 -> 110 ms) cuts the above-threshold
+  event count by roughly a factor of 4;
+* interarrival standard deviations are the same order of magnitude as
+  their means — no strong periodicity among long-latency events;
+* the longest Test-driven events stay below ~140 ms.
+"""
+
+from __future__ import annotations
+
+from ..core.interarrival import interarrival_table
+from ..core.report import TextTable
+from .common import ExperimentResult
+from .word_runs import DEFAULT_CHARS, word_session
+
+ID = "table2"
+TITLE = "Interarrival of long-latency Word events (NT 3.51)"
+
+#: Paper Table 2: threshold ms -> (count, mean s, std s).
+PAPER_TABLE2 = {
+    100.0: (101, 3.1, 3.1),
+    110.0: (26, 12.4, 10.6),
+    120.0: (8, 41.1, 48.8),
+}
+
+
+def run(seed: int = 0, chars: int = DEFAULT_CHARS) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    session = word_session("nt351", "mstest", chars=chars, seed=seed)
+    profile = session.profile
+    rows = interarrival_table(profile, sorted(PAPER_TABLE2))
+
+    table = TextTable(
+        [
+            "threshold ms",
+            "paper n",
+            "ours n",
+            "paper mean s",
+            "ours mean s",
+            "paper std s",
+            "ours std s",
+        ],
+        title=f"Table 2 (paper vs measured; {len(profile)} events, "
+        f"{session.elapsed_s:.0f} s run)",
+    )
+    by_threshold = {}
+    for row in rows:
+        paper_n, paper_mean, paper_std = PAPER_TABLE2[row.threshold_ms]
+        table.add_row(
+            row.threshold_ms,
+            paper_n,
+            row.count,
+            paper_mean,
+            row.mean_interarrival_s,
+            paper_std,
+            row.std_interarrival_s,
+        )
+        by_threshold[row.threshold_ms] = row
+    result.tables.append(table)
+    result.data = {
+        "rows": {
+            row.threshold_ms: {
+                "count": row.count,
+                "mean_s": row.mean_interarrival_s,
+                "std_s": row.std_interarrival_s,
+            }
+            for row in rows
+        },
+        "max_ms": profile.max_ms(),
+        "events": len(profile),
+        "elapsed_s": session.elapsed_s,
+    }
+
+    n100 = by_threshold[100.0].count
+    n110 = by_threshold[110.0].count
+    n120 = by_threshold[120.0].count
+    result.check(
+        "a 10% threshold raise cuts the count by roughly 4x",
+        n110 > 0 and 2.2 <= n100 / n110 <= 6.0,
+        f"{n100} -> {n110} (factor {n100 / max(n110, 1):.1f})",
+    )
+    result.check(
+        "counts fall monotonically with threshold",
+        n100 > n110 > n120 > 0,
+        f"{n100}/{n110}/{n120}",
+    )
+    for row in rows:
+        if row.count >= 3:
+            ratio = row.std_interarrival_s / max(row.mean_interarrival_s, 1e-9)
+            result.check(
+                f">{row.threshold_ms:.0f} ms: std same order as mean (no periodicity)",
+                0.25 <= ratio <= 4.0,
+                f"{row.mean_interarrival_s:.1f}±{row.std_interarrival_s:.1f} s",
+            )
+    result.check(
+        "longest Test-driven event stays under ~150 ms",
+        profile.max_ms() <= 150.0,
+        f"max {profile.max_ms():.0f} ms (paper: 140 ms)",
+    )
+    result.check(
+        ">100 ms count within 2x of the paper's 101",
+        50 <= n100 <= 200,
+        f"{n100} events",
+    )
+    return result

@@ -1,0 +1,20 @@
+"""Simulated hardware devices: disk, keyboard, mouse, display."""
+
+from .disk import Disk, DiskGeometry, DiskRequest
+from .display import Display
+from .keyboard import KeyEvent, Keyboard
+from .mouse import Mouse, MouseEvent
+from .nic import Nic, Packet
+
+__all__ = [
+    "Disk",
+    "DiskGeometry",
+    "DiskRequest",
+    "Display",
+    "Keyboard",
+    "KeyEvent",
+    "Mouse",
+    "MouseEvent",
+    "Nic",
+    "Packet",
+]

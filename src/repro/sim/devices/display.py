@@ -1,0 +1,50 @@
+"""Display device.
+
+The paper notes (Section 2.3) that graphics output devices refresh every
+12-17 ms and explicitly declines to fold refresh latency into its
+results.  We model the device anyway — paint operations are counted and
+the next-refresh boundary is queryable — so the refresh effect can be
+studied as an extension, while the reproduction experiments follow the
+paper and ignore it.
+"""
+
+from __future__ import annotations
+
+from ..engine import Simulator
+from ..timebase import ns_from_us
+
+__all__ = ["Display"]
+
+
+class Display:
+    """Raster display with a fixed refresh period."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        refresh_period_ns: int = ns_from_us(13_900),  # ~72 Hz
+        width: int = 1024,
+        height: int = 768,
+    ) -> None:
+        self.sim = sim
+        self.refresh_period_ns = refresh_period_ns
+        self.width = width
+        self.height = height
+        self.paint_ops = 0
+        self.pixels_painted = 0
+
+    def paint(self, pixels: int) -> None:
+        """Record a paint of ``pixels`` pixels (bookkeeping only)."""
+        if pixels < 0:
+            raise ValueError("cannot paint a negative pixel count")
+        self.paint_ops += 1
+        self.pixels_painted += pixels
+
+    def next_refresh_ns(self) -> int:
+        """Absolute time of the next refresh boundary."""
+        period = self.refresh_period_ns
+        return ((self.sim.now // period) + 1) * period
+
+    def visible_after_ns(self) -> int:
+        """Delay until a paint issued now becomes visible (extension hook)."""
+        return self.next_refresh_ns() - self.sim.now

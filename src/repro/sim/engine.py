@@ -1,0 +1,183 @@
+"""Discrete-event simulation engine.
+
+The engine is a deterministic event calendar: callbacks scheduled at
+integer-nanosecond timestamps, executed in (time, sequence) order.  The
+sequence number breaks ties in scheduling order, which — together with
+the integer time base and the seeded RNG streams — makes every simulation
+bit-reproducible.
+
+Events are cancellable: :meth:`Simulator.schedule` returns a
+:class:`ScheduledEvent` handle whose :meth:`~ScheduledEvent.cancel`
+removes it logically (the heap entry is left in place and skipped on
+pop, the standard lazy-deletion technique).  Cancellation is what lets
+the CPU model preempt an in-flight work segment and re-schedule its
+completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["ScheduledEvent", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class ScheduledEvent:
+    """Handle for a pending callback on the event calendar."""
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Logically remove the event; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent {self.label!r} @{self.time}ns {state}>"
+
+
+class Simulator:
+    """Deterministic event-calendar simulator.
+
+    The simulator only understands time and callbacks; machines, kernels
+    and applications are layered on top.  A single simulator instance is
+    shared by every component of one simulated machine.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[ScheduledEvent] = []
+        self._running = False
+        self._stop_requested = False
+        #: Number of callbacks executed; useful for engine diagnostics.
+        self.events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay_ns: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay_ns`` from now.
+
+        ``delay_ns`` may be zero (runs after already-pending events at the
+        same timestamp) but never negative.
+        """
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
+        return self.schedule_at(self._now + delay_ns, callback, label)
+
+    def schedule_at(
+        self,
+        time_ns: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns; now is {self._now} ns"
+            )
+        event = ScheduledEvent(time_ns, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` call return promptly."""
+        self._stop_requested = True
+
+    def peek_next_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if the calendar is empty."""
+        self._discard_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def _discard_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        self._discard_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        self.events_executed += 1
+        event.callback()
+        return True
+
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        until: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run the calendar.
+
+        Stops when any of the following holds:
+
+        * the calendar is exhausted,
+        * the next event lies beyond ``until_ns`` (the clock is then
+          advanced exactly to ``until_ns``),
+        * the predicate ``until`` returns True after an event,
+        * ``max_events`` callbacks have executed, or
+        * :meth:`stop` was called from inside a callback.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if until is not None and until():
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self._discard_cancelled()
+                if not self._queue:
+                    break
+                next_time = self._queue[0].time
+                if until_ns is not None and next_time > until_ns:
+                    self._now = until_ns
+                    break
+                if not self.step():
+                    break
+                executed += 1
+            if until_ns is not None and self._now < until_ns and not self._queue:
+                # Nothing left to do before the horizon; advance the clock.
+                self._now = until_ns
+        finally:
+            self._running = False
+        return self._now
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events on the calendar."""
+        return sum(1 for event in self._queue if not event.cancelled)

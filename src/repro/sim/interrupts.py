@@ -1,0 +1,135 @@
+"""Interrupt controller and interrupt sources.
+
+Devices raise interrupts; the controller charges the ISR cost against
+the CPU (stealing time from whatever is executing — see
+:meth:`repro.sim.cpu.CPU.steal`) and invokes the registered handler's
+post-action when the ISR retires.  The periodic clock interrupt is the
+source of the 10 ms activity bursts visible in the paper's idle-system
+profiles (Figure 3) and of the 10 ms alignment of animation steps
+(Figure 4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .cpu import CPU
+from .engine import Simulator
+from .timebase import ns_from_ms
+from .work import HwEvent, Work
+
+__all__ = ["InterruptVector", "InterruptController", "PeriodicClock"]
+
+
+@dataclass(frozen=True)
+class InterruptVector:
+    """A named interrupt line with its service-routine cost."""
+
+    name: str
+    isr_work: Work
+
+
+class InterruptController:
+    """Routes device interrupts to ISR costs and handler post-actions."""
+
+    def __init__(self, sim: Simulator, cpu: CPU) -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self._vectors: Dict[str, InterruptVector] = {}
+        self._handlers: Dict[str, Callable[[object], None]] = {}
+        #: Per-vector delivery counts, for diagnostics and tests.
+        self.delivered: Dict[str, int] = {}
+
+    def register(
+        self,
+        name: str,
+        isr_work: Work,
+        handler: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        """Install a vector: ISR cost plus optional post-action handler.
+
+        The handler runs *after* the ISR's stolen time has elapsed, i.e.
+        at the moment the hardware would return from the service routine.
+        """
+        self._vectors[name] = InterruptVector(name, isr_work)
+        if handler is not None:
+            self._handlers[name] = handler
+        self.delivered.setdefault(name, 0)
+
+    def set_handler(self, name: str, handler: Callable[[object], None]) -> None:
+        """Replace the post-action handler for an existing vector."""
+        if name not in self._vectors:
+            raise KeyError(f"unknown interrupt vector {name!r}")
+        self._handlers[name] = handler
+
+    def set_isr_work(self, name: str, isr_work: Work) -> None:
+        """Re-cost a vector (used by OS personalities at boot)."""
+        if name not in self._vectors:
+            raise KeyError(f"unknown interrupt vector {name!r}")
+        self._vectors[name] = InterruptVector(name, isr_work)
+
+    def raise_interrupt(self, name: str, payload: object = None) -> None:
+        """Deliver an interrupt on vector ``name`` right now."""
+        vector = self._vectors.get(name)
+        if vector is None:
+            raise KeyError(f"unknown interrupt vector {name!r}")
+        self.cpu.perf.charge(HwEvent.INTERRUPTS, 1)
+        duration = self.cpu.steal(vector.isr_work)
+        self.delivered[name] = self.delivered.get(name, 0) + 1
+        handler = self._handlers.get(name)
+        if handler is not None:
+            self.sim.schedule(
+                duration,
+                lambda: handler(payload),
+                label=f"isr-return:{name}",
+            )
+
+
+class PeriodicClock:
+    """The 10 ms hardware timer interrupt (Section 2.5).
+
+    Fires on a fixed period from simulated time zero so that animation
+    steps and scheduler ticks land on the same 10 ms boundaries the
+    paper observed.
+    """
+
+    VECTOR = "clock"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: InterruptController,
+        period_ns: int = ns_from_ms(10),
+        isr_work: Optional[Work] = None,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.period_ns = period_ns
+        self.ticks = 0
+        self._running = False
+        controller.register(
+            self.VECTOR,
+            isr_work if isr_work is not None else Work(400, label="clock-isr"),
+        )
+
+    def start(self) -> None:
+        """Begin ticking; the first tick lands on the next period boundary."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        next_tick = ((self.sim.now // self.period_ns) + 1) * self.period_ns
+        self.sim.schedule_at(next_tick, self._tick, label="clock-tick")
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self.controller.raise_interrupt(self.VECTOR, payload=self.ticks)
+        self._schedule_next()

@@ -1,0 +1,89 @@
+"""Bounded trace buffers for instrumentation records.
+
+The paper's idle-loop instrument writes one record per millisecond of
+idle time into a pre-allocated buffer ("while space_left_in_the_buffer",
+Section 2.3).  :class:`TraceBuffer` models that: a capacity-bounded,
+append-only log whose overflow behaviour is explicit, because buffer
+sizing versus loop calibration (the N parameter) is one of the paper's
+stated trade-offs.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, TypeVar
+
+__all__ = ["TraceBuffer", "TraceOverflow"]
+
+T = TypeVar("T")
+
+
+class TraceOverflow(RuntimeError):
+    """Raised when appending to a full buffer with ``on_full='raise'``."""
+
+
+class TraceBuffer(Generic[T]):
+    """Append-only record buffer with a fixed capacity.
+
+    ``on_full`` selects the overflow policy:
+
+    * ``'stop'``   — silently drop further records (the instrument's
+      space_left_in_the_buffer check); ``dropped`` counts them,
+    * ``'raise'``  — raise :class:`TraceOverflow`,
+    * ``'wrap'``   — overwrite oldest records (ring buffer).
+    """
+
+    def __init__(self, capacity: int, on_full: str = "stop") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if on_full not in ("stop", "raise", "wrap"):
+            raise ValueError(f"unknown overflow policy {on_full!r}")
+        self.capacity = capacity
+        self.on_full = on_full
+        self.dropped = 0
+        self._records: List[T] = []
+        self._wrap_start = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def full(self) -> bool:
+        return len(self._records) >= self.capacity
+
+    @property
+    def space_left(self) -> int:
+        return max(0, self.capacity - len(self._records))
+
+    def append(self, record: T) -> bool:
+        """Add a record.  Returns False when dropped by the 'stop' policy."""
+        if not self.full:
+            self._records.append(record)
+            return True
+        if self.on_full == "raise":
+            raise TraceOverflow(f"trace buffer full at {self.capacity} records")
+        if self.on_full == "stop":
+            self.dropped += 1
+            return False
+        # wrap
+        self._records[self._wrap_start] = record
+        self._wrap_start = (self._wrap_start + 1) % self.capacity
+        return True
+
+    def records(self) -> List[T]:
+        """Records in chronological order (unwrapping the ring if needed)."""
+        if self.on_full == "wrap" and self.full and self._wrap_start:
+            return self._records[self._wrap_start:] + self._records[: self._wrap_start]
+        return list(self._records)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.records())
+
+    def last(self) -> Optional[T]:
+        """Most recent record, or None when empty."""
+        ordered = self.records()
+        return ordered[-1] if ordered else None
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._wrap_start = 0
+        self.dropped = 0

@@ -1,0 +1,102 @@
+"""Work descriptors: what a thread asks the CPU to execute.
+
+A :class:`Work` segment is the unit of computation in the simulator — a
+cycle count plus annotations saying which hardware events the segment
+generates (TLB misses, segment-register loads, ...).  Operating-system
+personalities and application cost models construct Work values; the CPU
+model consumes them, advancing simulated time and the performance
+counters proportionally as the segment executes (so a preempted segment
+has charged only its consumed fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["HwEvent", "Work"]
+
+
+class HwEvent(str, Enum):
+    """Hardware events countable by the simulated Pentium counters.
+
+    The set mirrors the events the paper reads (Section 2.2, Figures 9
+    and 10): the two 40-bit event counters can be configured to count any
+    of these, while CYCLES is the separate free-running 64-bit counter.
+    """
+
+    INSTRUCTIONS = "instructions"
+    DATA_REFS = "data_refs"
+    ITLB_MISS = "itlb_miss"
+    DTLB_MISS = "dtlb_miss"
+    SEGMENT_LOADS = "segment_loads"
+    UNALIGNED_ACCESS = "unaligned_access"
+    INTERRUPTS = "interrupts"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Work:
+    """A computation segment: ``cycles`` of CPU plus hardware-event counts.
+
+    Event counts are charged *pro rata* as the segment executes, so a
+    segment preempted halfway has contributed half its TLB misses — the
+    same smearing a sampling measurement would observe on hardware.
+    """
+
+    cycles: int
+    events: Dict[HwEvent, int] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"negative work: {self.cycles} cycles")
+
+    def scaled(self, factor: float) -> "Work":
+        """A copy with cycles and event counts multiplied by ``factor``."""
+        return Work(
+            cycles=round(self.cycles * factor),
+            events={ev: round(n * factor) for ev, n in self.events.items()},
+            label=self.label,
+        )
+
+    def plus(self, other: "Work", label: str = "") -> "Work":
+        """Sum of two segments (cycles and per-event counts)."""
+        events = dict(self.events)
+        for ev, n in other.events.items():
+            events[ev] = events.get(ev, 0) + n
+        return Work(
+            cycles=self.cycles + other.cycles,
+            events=events,
+            label=label or self.label or other.label,
+        )
+
+    @staticmethod
+    def total(parts: Iterable["Work"], label: str = "") -> "Work":
+        """Sum an iterable of segments into one."""
+        out = Work(0, {}, label)
+        for part in parts:
+            out = out.plus(part, label=label)
+        return out
+
+    @staticmethod
+    def from_mapping(cycles: int, events: Mapping[str, int], label: str = "") -> "Work":
+        """Build a Work from string-keyed event counts (config-file friendly)."""
+        return Work(
+            cycles=cycles,
+            events={HwEvent(name): count for name, count in events.items()},
+            label=label,
+        )
+
+    def count(self, event: HwEvent) -> int:
+        """Annotated count for ``event`` (0 if absent)."""
+        return self.events.get(event, 0)
+
+    def __repr__(self) -> str:
+        tags = ", ".join(f"{ev.value}={n}" for ev, n in sorted(self.events.items()))
+        suffix = f" [{tags}]" if tags else ""
+        name = f" {self.label!r}" if self.label else ""
+        return f"<Work{name} {self.cycles} cycles{suffix}>"

@@ -1,0 +1,129 @@
+"""Operating-system substrate: a simulated Windows family.
+
+One kernel mechanism (scheduler, message queues, GDI batching, sync and
+async I/O, buffer cache) with three *personalities* — NT 3.51, NT 4.0,
+Windows 95 — that encode exactly the architectural differences the
+paper attributes its measured results to.
+"""
+
+from . import nt351, nt40, win95
+from .filesystem import BufferCache, FileSystem, SimFile
+from .gdi import GdiBatch
+from .hooks import ApiCallRecord, HookManager
+from .iomgr import IoManager, IoPlan
+from .kernel import Kernel, KernelPanic
+from .loader import ProgramImage, load_image
+from .messages import WM, Message, MessageQueue
+from .personality import OSPersonality, annotate_proportional
+from .scheduler import Scheduler
+from .syscalls import (
+    AsyncRead,
+    AsyncWrite,
+    BusyWait,
+    Compute,
+    ExitThread,
+    GdiFlush,
+    GdiOp,
+    GetMessage,
+    KillTimer,
+    PeekMessage,
+    PostMessage,
+    ReadCycleCounter,
+    SetTimer,
+    Sleep,
+    SpawnThread,
+    Syscall,
+    SyncRead,
+    SyncWrite,
+    UserCall,
+    YieldCpu,
+)
+from .system import WindowsSystem
+from .threads import (
+    BACKGROUND_PRIORITY,
+    IDLE_PRIORITY,
+    INPUT_PRIORITY,
+    NORMAL_PRIORITY,
+    SimThread,
+    ThreadState,
+)
+
+#: The three measured systems, keyed by short name.
+PERSONALITIES = {
+    "nt351": nt351.PERSONALITY,
+    "nt40": nt40.PERSONALITY,
+    "win95": win95.PERSONALITY,
+}
+
+#: Booted-system factories, keyed by short name.
+SYSTEM_FACTORIES = {
+    "nt351": nt351.system,
+    "nt40": nt40.system,
+    "win95": win95.system,
+}
+
+
+def boot(os_name: str, seed: int = 0) -> WindowsSystem:
+    """Boot one of the three measured systems by short name."""
+    try:
+        factory = SYSTEM_FACTORIES[os_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown OS {os_name!r}; expected one of {sorted(SYSTEM_FACTORIES)}"
+        ) from None
+    return factory(seed=seed)
+
+
+__all__ = [
+    "ApiCallRecord",
+    "AsyncRead",
+    "AsyncWrite",
+    "BACKGROUND_PRIORITY",
+    "BufferCache",
+    "BusyWait",
+    "Compute",
+    "ExitThread",
+    "FileSystem",
+    "GdiBatch",
+    "GdiFlush",
+    "GdiOp",
+    "GetMessage",
+    "HookManager",
+    "IDLE_PRIORITY",
+    "INPUT_PRIORITY",
+    "IoManager",
+    "IoPlan",
+    "Kernel",
+    "KernelPanic",
+    "KillTimer",
+    "Message",
+    "MessageQueue",
+    "NORMAL_PRIORITY",
+    "OSPersonality",
+    "PERSONALITIES",
+    "PeekMessage",
+    "PostMessage",
+    "ProgramImage",
+    "ReadCycleCounter",
+    "SYSTEM_FACTORIES",
+    "Scheduler",
+    "SetTimer",
+    "SimFile",
+    "SimThread",
+    "Sleep",
+    "SpawnThread",
+    "Syscall",
+    "SyncRead",
+    "SyncWrite",
+    "ThreadState",
+    "UserCall",
+    "WM",
+    "WindowsSystem",
+    "YieldCpu",
+    "annotate_proportional",
+    "boot",
+    "load_image",
+    "nt351",
+    "nt40",
+    "win95",
+]

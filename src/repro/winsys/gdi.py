@@ -1,0 +1,75 @@
+"""GDI request batching.
+
+Client-server window systems batch graphics requests "into a single
+message before sending them to the server" (Section 1.1).  Batching
+amortizes the protection-domain crossing, which raises throughput — but
+a request issued early in a batch is not visible until the batch
+flushes, which is exactly the responsiveness hazard the paper calls
+out when benchmarks drive the system with an infinitely fast user.
+
+Each thread owns one :class:`GdiBatch`.  Operations accumulate until
+either the batch limit is reached or the thread re-enters the message
+loop (GetMessage/PeekMessage flush implicitly, as Win32 does).  The
+flush cost = one crossing overhead + the personality-transformed cost
+of every batched op, so fuller batches cost fewer cycles per op.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.work import Work
+from .syscalls import GdiOp
+
+__all__ = ["GdiBatch"]
+
+
+class GdiBatch:
+    """Pending graphics operations for one thread."""
+
+    def __init__(self, personality, batch_limit: Optional[int] = None) -> None:
+        self.personality = personality
+        self.batch_limit = (
+            batch_limit if batch_limit is not None else personality.gdi_batch_limit
+        )
+        self._ops: List[GdiOp] = []
+        # Statistics for the batching ablation.
+        self.flushes = 0
+        self.ops_flushed = 0
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def empty(self) -> bool:
+        return not self._ops
+
+    def add(self, op: GdiOp) -> Optional[Work]:
+        """Queue an op; returns flush Work if the batch limit was hit."""
+        self._ops.append(op)
+        if len(self._ops) >= self.batch_limit:
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[Work]:
+        """Drain the batch; returns the Work to execute, or None if empty."""
+        if not self._ops:
+            return None
+        total = self.personality.gdi_flush_overhead
+        pixels = 0
+        for op in self._ops:
+            total = total.plus(self.personality.gdi_work(op.base))
+            pixels += op.pixels
+        total.label = f"gdi-flush[{len(self._ops)}]"
+        self.flushes += 1
+        self.ops_flushed += len(self._ops)
+        self._ops.clear()
+        self.last_flush_pixels = pixels
+        return total
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average ops per flush so far (the batching-aggressiveness metric)."""
+        if not self.flushes:
+            return 0.0
+        return self.ops_flushed / self.flushes

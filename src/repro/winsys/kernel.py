@@ -1,0 +1,824 @@
+"""The simulated Windows kernel.
+
+Ties the scheduler, message queues, Win32 API layer, I/O manager and
+input pipeline to one :class:`~repro.sim.machine.Machine`.  Application
+threads are generators yielding :mod:`~repro.winsys.syscalls` objects;
+the kernel performs each request, charging its CPU cost through the
+machine's CPU model so that *every* cycle of system activity is visible
+to an idle-loop instrument — the property the paper's methodology
+depends on (Figure 1: the idle loop sees the interrupt handling and
+rescheduling that getchar()-timestamping misses).
+
+Scheduling model:
+
+* DPCs (deferred procedure calls) run before any thread; they carry the
+  system-side input dispatching, disk completion work and per-tick
+  housekeeping.
+* Threads run strictly by priority with clock-tick round-robin among
+  equals.
+* When nothing is runnable the CPU is idle — unless an instrument has
+  installed an idle-priority thread (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..sim.devices.disk import DiskRequest
+from ..sim.devices.keyboard import KeyEvent
+from ..sim.devices.mouse import MouseEvent
+from ..sim.machine import Machine
+from ..sim.work import Work
+from .filesystem import BufferCache, FileSystem
+from .gdi import GdiBatch
+from .hooks import ApiCallRecord, HookManager
+from .iomgr import IoManager
+from .messages import WM, Message
+from .personality import OSPersonality
+from .scheduler import Scheduler
+from .syscalls import (
+    AsyncRead,
+    AsyncWrite,
+    BusyWait,
+    Compute,
+    ExitThread,
+    GdiFlush,
+    GdiOp,
+    GetMessage,
+    KillTimer,
+    PeekMessage,
+    PostMessage,
+    ReadCycleCounter,
+    SetTimer,
+    Sleep,
+    SpawnThread,
+    Syscall,
+    SyncRead,
+    SyncWrite,
+    UserCall,
+    YieldCpu,
+)
+from .threads import IDLE_PRIORITY, NORMAL_PRIORITY, SimThread, ThreadState
+
+__all__ = ["Kernel", "KernelPanic"]
+
+# Sentinels returned by the syscall perform step.
+_BLOCKED = object()
+_SPIN_CYCLES = 10**14  # open-ended busy-wait; cancelled, never completed
+
+
+class KernelPanic(RuntimeError):
+    """Internal inconsistency in the simulated kernel."""
+
+
+@dataclass
+class _Dpc:
+    """One deferred procedure call: system work plus a post-action."""
+
+    work: Work
+    action: Optional[Callable[[], None]]
+    label: str = ""
+
+
+class _DpcContext:
+    """CPU context marker for DPC execution (not a schedulable thread)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<dpc>"
+
+
+class _SpinContext:
+    """CPU context marker for the Win95 mouse busy-wait."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<mouse-spin>"
+
+
+@dataclass
+class _Timer:
+    thread: SimThread
+    timer_id: int
+    period_ns: int
+    next_due_ns: int
+
+
+class Kernel:
+    """Scheduler + syscall dispatcher for one booted operating system."""
+
+    def __init__(self, machine: Machine, personality: OSPersonality) -> None:
+        self.machine = machine
+        self.personality = personality
+        self.sim = machine.sim
+        self.cpu = machine.cpu
+        self.scheduler = Scheduler()
+        self.hooks = HookManager()
+        self.filesystem = FileSystem(
+            total_blocks=machine.spec.disk_geometry.total_blocks,
+            block_size=personality.block_size,
+            kind=personality.filesystem_kind,
+        )
+        self.buffer_cache = BufferCache(personality.buffer_cache_blocks)
+        self.iomgr = IoManager(machine.disk, self.buffer_cache, personality)
+        self.threads: List[SimThread] = []
+        self.foreground: Optional[SimThread] = None
+        #: Thread receiving WM_SOCKET notifications (None = foreground).
+        self.socket_owner: Optional[SimThread] = None
+        self.running: object = None  # SimThread | _DpcContext | None
+        self._dpc_context = _DpcContext()
+        self._spin_context = _SpinContext()
+        self._dpc_queue: Deque[_Dpc] = deque()
+        self._active_dpc: Optional[_Dpc] = None
+        self._dispatch_scheduled = False
+        self._timers: Dict[Tuple[int, int], _Timer] = {}
+        self._gdi_batches: Dict[int, GdiBatch] = {}
+        #: Override for every thread's GDI batch limit; 1 disables
+        #: batching (the partial mitigation Section 1.1 mentions).
+        self.gdi_batch_limit_override: Optional[int] = None
+        self._spin_active = False
+        self._spin_began_ns = 0
+        self._pending_mouse_down: Optional[MouseEvent] = None
+        self._booted = False
+        # Diagnostics.
+        self.context_switches = 0
+        self.dpcs_run = 0
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """Wire interrupt vectors, start the clock, begin dispatching."""
+        if self._booted:
+            raise KernelPanic("kernel booted twice")
+        self._booted = True
+        personality = self.personality
+        interrupts = self.machine.interrupts
+        interrupts.set_isr_work("clock", personality.clock_isr_work)
+        interrupts.set_isr_work("keyboard", personality.keyboard_isr_work)
+        interrupts.set_isr_work("mouse", personality.mouse_isr_work)
+        interrupts.set_isr_work("disk", personality.disk_isr_work)
+        interrupts.set_isr_work("nic", personality.nic_isr_work)
+        interrupts.set_handler("clock", self._on_clock_tick)
+        interrupts.set_handler("keyboard", self._on_keyboard)
+        interrupts.set_handler("mouse", self._on_mouse)
+        interrupts.set_handler("disk", self._on_disk)
+        interrupts.set_handler("nic", self._on_packet)
+        self.machine.power_on()
+        if personality.idle_background_period_ns > 0:
+            self.sim.schedule(
+                personality.idle_background_period_ns,
+                self._idle_background_tick,
+                label="idle-bg",
+            )
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def create_thread(
+        self,
+        name: str,
+        program,
+        priority: int = NORMAL_PRIORITY,
+        process: object = None,
+    ) -> SimThread:
+        """Create and ready a thread around a generator ``program``."""
+        thread = SimThread(name=name, program=program, priority=priority, process=process)
+        self.threads.append(thread)
+        thread.queue.add_post_callback(
+            lambda message, t=thread: self._on_message_posted(t, message)
+        )
+        self.scheduler.make_ready(thread)
+        self._request_dispatch()
+        return thread
+
+    def set_foreground(self, thread: SimThread) -> None:
+        """Give ``thread`` the input focus (messages route to its queue)."""
+        self.foreground = thread
+
+    def gdi_batch(self, thread: SimThread) -> GdiBatch:
+        batch = self._gdi_batches.get(thread.tid)
+        if batch is None:
+            batch = GdiBatch(
+                self.personality, batch_limit=self.gdi_batch_limit_override
+            )
+            self._gdi_batches[thread.tid] = batch
+        return batch
+
+    def post_message(self, thread: SimThread, message: Message) -> None:
+        """Kernel-side message post (input pipeline, drivers)."""
+        thread.queue.post(message, self.sim.now)
+
+    def post_to_foreground(self, message: Message) -> None:
+        if self.foreground is None:
+            raise KernelPanic("no foreground thread to receive input")
+        self.post_message(self.foreground, message)
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    def _request_dispatch(self) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        self.sim.schedule(0, self._dispatch, label="dispatch")
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if self._spin_active:
+            return  # the busy-wait owns the processor until cancelled
+        # DPCs run ahead of any thread.
+        if self._dpc_queue:
+            if self.cpu.busy:
+                if self.running is self._dpc_context:
+                    return  # current DPC finishes first, then queue drains
+                self._preempt_running_thread()
+            self._start_next_dpc()
+            return
+        if self.cpu.busy:
+            if isinstance(self.running, SimThread):
+                top = self.scheduler.top_priority()
+                if top is not None and top > self.running.priority:
+                    self._preempt_running_thread()
+                else:
+                    return
+            else:
+                return  # DPC executing and no further DPCs queued
+        if not self.cpu.busy:
+            thread = self.scheduler.pick()
+            if thread is not None:
+                self._run_thread(thread)
+
+    def _preempt_running_thread(self) -> None:
+        thread = self.running
+        if not isinstance(thread, SimThread):
+            raise KernelPanic(f"cannot preempt context {thread!r}")
+        context, remaining = self.cpu.preempt()
+        if context is not thread:
+            raise KernelPanic("CPU context does not match running thread")
+        thread.pending_work = remaining
+        self.running = None
+        self.context_switches += 1
+        self.scheduler.make_ready(thread, front=True)
+
+    def _run_thread(self, thread: SimThread) -> None:
+        self.running = thread
+        thread.dispatches += 1
+        if thread.pending_work is not None:
+            work = thread.pending_work
+            thread.pending_work = None
+            self.cpu.start(work, thread, self._work_done)
+            return
+        resume = thread.resume_value
+        thread.resume_value = None
+        self._advance(thread, resume)
+
+    def _work_done(self, context: object) -> None:
+        if context is self._dpc_context:
+            dpc = self._active_dpc
+            self._active_dpc = None
+            self.running = None
+            self.dpcs_run += 1
+            if dpc is not None and dpc.action is not None:
+                dpc.action()
+            self._request_dispatch()
+            return
+        if context is self._spin_context:
+            raise KernelPanic("mouse busy-wait completed; it must be cancelled")
+        thread = context
+        if not isinstance(thread, SimThread):
+            raise KernelPanic(f"unknown CPU context {context!r}")
+        result: object = None
+        if thread.pending_action is not None:
+            action = thread.pending_action
+            thread.pending_action = None
+            result = action()
+        if result is _BLOCKED:
+            self.running = None
+            self._request_dispatch()
+            return
+        top = self.scheduler.top_priority()
+        if (top is not None and top > thread.priority) or self._dpc_queue:
+            thread.resume_value = result
+            self.running = None
+            self.scheduler.make_ready(thread, front=True)
+            self._request_dispatch()
+            return
+        self._advance(thread, result)
+
+    def _advance(self, thread: SimThread, send_value: object) -> None:
+        """Drive the thread's generator until it blocks or hits the CPU."""
+        while True:
+            try:
+                syscall = thread.advance(send_value)
+            except StopIteration:
+                self._finish_thread(thread)
+                return
+            outcome = self._perform(thread, syscall)
+            kind = outcome[0]
+            if kind == "block":
+                self.running = None
+                self._request_dispatch()
+                return
+            if kind == "compute":
+                _kind, work, action = outcome
+                thread.pending_action = action
+                self.cpu.start(work, thread, self._work_done)
+                return
+            if kind == "result":
+                send_value = outcome[1]
+                continue
+            raise KernelPanic(f"unknown perform outcome {kind!r}")
+
+    def _finish_thread(self, thread: SimThread) -> None:
+        thread.state = ThreadState.DONE
+        self.running = None
+        self._request_dispatch()
+
+    def _block(self, thread: SimThread, reason: str) -> Tuple[str]:
+        thread.state = ThreadState.BLOCKED
+        thread.wait_reason = reason
+        return ("block",)
+
+    def _wake(self, thread: SimThread, resume_value: object = None) -> None:
+        """Unblock a thread; preemption happens via the deferred dispatch."""
+        if thread.state != ThreadState.BLOCKED:
+            return
+        thread.resume_value = resume_value
+        thread.quantum_ticks_used = 0  # fresh quantum after blocking
+        self.scheduler.make_ready(thread)
+        self._request_dispatch()
+
+    # ------------------------------------------------------------------
+    # Syscall execution
+    # ------------------------------------------------------------------
+    def _perform(self, thread: SimThread, syscall: Syscall):
+        personality = self.personality
+        now = self.sim.now
+
+        if isinstance(syscall, Compute):
+            return ("compute", syscall.work, None)
+
+        if isinstance(syscall, GetMessage):
+            # The interposed DLL sees the call as it is made.
+            self.hooks.fire(
+                ApiCallRecord(
+                    time_ns=now,
+                    thread_name=thread.name,
+                    api="GetMessage",
+                    queue_len=len(thread.queue),
+                    message=None,
+                    blocked=thread.queue.empty,
+                )
+            )
+            cost = personality.user_call_work
+            # The GDI batch flushes when the thread is about to block —
+            # while input keeps arriving the batch keeps accumulating,
+            # which is the throughput-vs-responsiveness batching
+            # behaviour of Section 1.1.
+            if thread.queue.empty:
+                flush = self.gdi_batch(thread).flush()
+                if flush is not None:
+                    cost = cost.plus(flush, label="getmessage+flush")
+            return ("compute", cost, lambda: self._getmessage_action(thread))
+
+        if isinstance(syscall, PeekMessage):
+            self.hooks.fire(
+                ApiCallRecord(
+                    time_ns=now,
+                    thread_name=thread.name,
+                    api="PeekMessage",
+                    queue_len=len(thread.queue),
+                    message=None,
+                    blocked=False,
+                )
+            )
+            cost = personality.user_call_work
+            if thread.queue.empty:
+                flush = self.gdi_batch(thread).flush()
+                if flush is not None:
+                    cost = cost.plus(flush, label="peekmessage+flush")
+            remove = syscall.remove
+            return (
+                "compute",
+                cost,
+                lambda: self._peekmessage_action(thread, remove),
+            )
+
+        if isinstance(syscall, PostMessage):
+            target, message = syscall.target, syscall.message
+
+            def post_action() -> None:
+                self.post_message(target, message)
+
+            return ("compute", personality.user_call_work, post_action)
+
+        if isinstance(syscall, GdiOp):
+            flush_work = self.gdi_batch(thread).add(syscall)
+            if syscall.pixels:
+                self.machine.display.paint(syscall.pixels)
+            if flush_work is not None:
+                return ("compute", flush_work, None)
+            return ("result", None)
+
+        if isinstance(syscall, GdiFlush):
+            flush_work = self.gdi_batch(thread).flush()
+            if flush_work is not None:
+                return ("compute", flush_work, None)
+            return ("result", None)
+
+        if isinstance(syscall, UserCall):
+            cost = personality.user_call_work.plus(
+                personality.user_work(syscall.base.cycles, label=syscall.name)
+            )
+            return ("compute", cost, None)
+
+        if isinstance(syscall, SyncRead):
+            plan = self.iomgr.plan_read(syscall.file, syscall.offset, syscall.length)
+            return ("compute", plan.cpu_work, lambda: self._sync_io_action(thread, plan))
+
+        if isinstance(syscall, SyncWrite):
+            plan = self.iomgr.plan_write(syscall.file, syscall.offset, syscall.length)
+            return ("compute", plan.cpu_work, lambda: self._sync_io_action(thread, plan))
+
+        if isinstance(syscall, AsyncRead):
+            plan = self.iomgr.plan_read(syscall.file, syscall.offset, syscall.length)
+
+            def submit_async() -> None:
+                self.iomgr.submit(plan, on_done=lambda: None, sync=False)
+
+            return ("compute", plan.cpu_work, submit_async)
+
+        if isinstance(syscall, AsyncWrite):
+            plan = self.iomgr.plan_write(syscall.file, syscall.offset, syscall.length)
+
+            def submit_async_write() -> None:
+                self.iomgr.submit(plan, on_done=lambda: None, sync=False)
+
+            return ("compute", plan.cpu_work, submit_async_write)
+
+        if isinstance(syscall, Sleep):
+            duration = max(0, syscall.duration_ns)
+            period = self.machine.spec.clock_period_ns
+            earliest = now + duration
+            wake_at = ((earliest + period - 1) // period) * period
+            if wake_at <= now:
+                wake_at = now + period
+
+            def sleep_action():
+                self.sim.schedule_at(
+                    wake_at, lambda: self._wake(thread), label="sleep-wake"
+                )
+                return self._block_value(thread, "sleep")
+
+            return ("compute", personality.syscall_work, sleep_action)
+
+        if isinstance(syscall, SetTimer):
+            timer_id = syscall.timer_id
+            period = max(syscall.period_ns, self.machine.spec.clock_period_ns)
+
+            def set_timer_action():
+                key = (thread.tid, timer_id)
+                self._timers[key] = _Timer(
+                    thread=thread,
+                    timer_id=timer_id,
+                    period_ns=period,
+                    next_due_ns=now + period,
+                )
+                return None
+
+            return ("compute", personality.syscall_work, set_timer_action)
+
+        if isinstance(syscall, KillTimer):
+            def kill_timer_action():
+                self._timers.pop((thread.tid, syscall.timer_id), None)
+                return None
+
+            return ("compute", personality.syscall_work, kill_timer_action)
+
+        if isinstance(syscall, YieldCpu):
+            thread.resume_value = None
+            thread.quantum_ticks_used = 0  # voluntary yield restarts it
+            self.scheduler.make_ready(thread, front=False)
+            self.running = None
+            self._request_dispatch()
+            return ("block",)  # state stays READY (already queued)
+
+        if isinstance(syscall, ReadCycleCounter):
+            return ("result", self.machine.perf.read_cycle_counter())
+
+        if isinstance(syscall, SpawnThread):
+            child = self.create_thread(
+                syscall.name, syscall.coroutine, syscall.priority, process=thread.process
+            )
+            return ("result", child)
+
+        if isinstance(syscall, ExitThread):
+            self._finish_thread(thread)
+            return ("block",)
+
+        if isinstance(syscall, BusyWait):
+            if not thread.queue.empty:
+                return ("result", None)  # input already waiting
+            thread.spin_wait = True
+            return ("compute", Work(_SPIN_CYCLES, label=f"spin:{syscall.reason}"), None)
+
+        raise KernelPanic(f"unknown syscall {syscall!r}")
+
+    def _block_value(self, thread: SimThread, reason: str):
+        """Block from inside a pending action (returns the sentinel)."""
+        thread.state = ThreadState.BLOCKED
+        thread.wait_reason = reason
+        return _BLOCKED
+
+    def _getmessage_action(self, thread: SimThread):
+        message = thread.queue.get(self.sim.now)
+        if message is not None:
+            self.hooks.fire(
+                ApiCallRecord(
+                    time_ns=self.sim.now,
+                    thread_name=thread.name,
+                    api="GetMessage",
+                    queue_len=len(thread.queue),
+                    message=message,
+                    blocked=False,
+                )
+            )
+            return message
+        return self._block_value(thread, "message")
+
+    def _peekmessage_action(self, thread: SimThread, remove: bool):
+        if remove:
+            message = thread.queue.get(self.sim.now)
+        else:
+            message = thread.queue.peek()
+        self.hooks.fire(
+            ApiCallRecord(
+                time_ns=self.sim.now,
+                thread_name=thread.name,
+                api="PeekMessage",
+                queue_len=len(thread.queue),
+                message=message,
+                blocked=False,
+            )
+        )
+        return message
+
+    def _sync_io_action(self, thread: SimThread, plan):
+        if plan.all_cached:
+            return None
+        self.iomgr.submit(plan, on_done=lambda: self._wake(thread), sync=True)
+        return self._block_value(thread, "io")
+
+    def _cancel_spin_wait(self, thread: SimThread) -> None:
+        """End a BusyWait: discard the open-ended spin, resume the thread."""
+        thread.spin_wait = False
+        if self.running is thread and self.cpu.current_context is thread:
+            self.cpu.abort()
+            self.running = None
+        thread.pending_work = None
+        thread.pending_action = None
+        thread.resume_value = None
+        if thread.state == ThreadState.RUNNING:
+            thread.state = ThreadState.READY
+            self.scheduler.make_ready(thread, front=True)
+        self._request_dispatch()
+
+    def _on_message_posted(self, thread: SimThread, message: Message) -> None:
+        if thread.spin_wait:
+            self._cancel_spin_wait(thread)
+            return
+        if thread.blocked and thread.wait_reason == "message":
+            delivered = thread.queue.get(self.sim.now)
+            self.hooks.fire(
+                ApiCallRecord(
+                    time_ns=self.sim.now,
+                    thread_name=thread.name,
+                    api="GetMessage",
+                    queue_len=len(thread.queue),
+                    message=delivered,
+                    blocked=True,
+                )
+            )
+            self._wake(thread, resume_value=delivered)
+
+    # ------------------------------------------------------------------
+    # DPCs
+    # ------------------------------------------------------------------
+    def queue_dpc(
+        self,
+        work: Work,
+        action: Optional[Callable[[], None]] = None,
+        label: str = "",
+    ) -> None:
+        """Queue system-side work that runs ahead of all threads."""
+        self._dpc_queue.append(_Dpc(work=work, action=action, label=label))
+        self._request_dispatch()
+
+    def _start_next_dpc(self) -> None:
+        dpc = self._dpc_queue.popleft()
+        self._active_dpc = dpc
+        self.running = self._dpc_context
+        self.cpu.start(dpc.work, self._dpc_context, self._work_done)
+
+    # ------------------------------------------------------------------
+    # Interrupt post-actions (run when the ISR retires)
+    # ------------------------------------------------------------------
+    def _on_clock_tick(self, _tick) -> None:
+        now = self.sim.now
+        # Fire due application timers; timers of finished threads are
+        # reaped so they cannot hold the system out of quiescence.
+        for key, timer in list(self._timers.items()):
+            if timer.thread.done:
+                del self._timers[key]
+                continue
+            if now >= timer.next_due_ns:
+                timer.next_due_ns = now + timer.period_ns
+                self.post_message(
+                    timer.thread,
+                    Message(WM.TIMER, payload=timer.timer_id, from_input=False),
+                )
+        # Per-tick scheduler/timer DPC — only when the tick has actual
+        # work to do (armed timers, runnable threads, or a non-idle
+        # thread to account against).  A fully idle system's cheapest
+        # ticks therefore cost the bare ISR, which is how the paper
+        # could observe a ~400-cycle minimum on NT 4.0 (Section 2.5).
+        tick_has_work = (
+            bool(self._timers)
+            or self.scheduler.ready_count() > 0
+            or (
+                isinstance(self.running, SimThread)
+                and self.running.priority > IDLE_PRIORITY
+            )
+        )
+        if tick_has_work:
+            self.queue_dpc(self.personality.tick_dpc_work, label="tick")
+        if (
+            self.machine.clock.ticks % self.personality.housekeeping_period_ticks
+            == 0
+        ):
+            self.queue_dpc(self.personality.housekeeping_work, label="housekeeping")
+        # Quantum round-robin among equal priorities.  The counter lives
+        # on the thread so the tick DPC's own brief preemption does not
+        # restart the quantum.
+        if isinstance(self.running, SimThread):
+            thread = self.running
+            thread.quantum_ticks_used += 1
+            if (
+                thread.quantum_ticks_used >= self.personality.quantum_ticks
+                and self.scheduler.has_ready_at(thread.priority)
+            ):
+                context, remaining = self.cpu.preempt()
+                if context is thread:
+                    thread.pending_work = remaining
+                    thread.quantum_ticks_used = 0
+                    self.running = None
+                    self.context_switches += 1
+                    self.scheduler.make_ready(thread, front=False)
+                    self._request_dispatch()
+
+    def _on_keyboard(self, event: KeyEvent) -> None:
+        self.queue_dpc(
+            self.personality.input_dispatch_work,
+            action=lambda: self._deliver_key(event),
+            label="kbd-dispatch",
+        )
+
+    def _deliver_key(self, event: KeyEvent) -> None:
+        if self.foreground is None:
+            return
+        if event.down:
+            self.post_to_foreground(
+                Message(WM.KEYDOWN, payload=event.key, from_input=True)
+            )
+            if len(event.key) == 1:
+                self.post_to_foreground(
+                    Message(WM.CHAR, payload=event.key, from_input=True)
+                )
+        else:
+            self.post_to_foreground(
+                Message(WM.KEYUP, payload=event.key, from_input=True)
+            )
+
+    def _on_mouse(self, event: MouseEvent) -> None:
+        if event.kind == "down" and self.personality.mouse_click_busywait:
+            self._pending_mouse_down = event
+            self.queue_dpc(
+                self.personality.input_dispatch_work,
+                action=self._begin_mouse_spin,
+                label="mouse-spin-start",
+            )
+            return
+        if event.kind == "up" and self._spin_active:
+            self._end_mouse_spin(event)
+            return
+        self.queue_dpc(
+            self.personality.input_dispatch_work,
+            action=lambda: self._deliver_mouse(event),
+            label="mouse-dispatch",
+        )
+
+    def _deliver_mouse(self, event: MouseEvent) -> None:
+        if self.foreground is None:
+            return
+        kind_to_wm = {
+            "down": WM.LBUTTONDOWN,
+            "up": WM.LBUTTONUP,
+            "move": WM.MOUSEMOVE,
+        }
+        self.post_to_foreground(
+            Message(kind_to_wm[event.kind], payload=event.position, from_input=True)
+        )
+
+    def _begin_mouse_spin(self) -> None:
+        """Windows 95: spin on the CPU until the button comes back up."""
+        if self._spin_active:
+            return
+        if self.cpu.busy:
+            if isinstance(self.running, SimThread):
+                self._preempt_running_thread()
+            else:
+                # A DPC is mid-flight; try again when it retires.
+                self.queue_dpc(
+                    Work(100, label="spin-retry"), action=self._begin_mouse_spin
+                )
+                return
+        self._spin_active = True
+        self._spin_began_ns = self.sim.now
+        self.cpu.start(
+            Work(_SPIN_CYCLES, label="win95-mouse-spin"),
+            self._spin_context,
+            self._work_done,
+        )
+
+    def _end_mouse_spin(self, up_event: MouseEvent) -> None:
+        if not self._spin_active:
+            return
+        context = self.cpu.abort()
+        if context is not self._spin_context:
+            raise KernelPanic("spin cancel found a different CPU context")
+        self._spin_active = False
+        down_event = self._pending_mouse_down
+        self._pending_mouse_down = None
+
+        def deliver_both() -> None:
+            if down_event is not None:
+                self._deliver_mouse(down_event)
+            self._deliver_mouse(up_event)
+
+        self.queue_dpc(
+            self.personality.input_dispatch_work,
+            action=deliver_both,
+            label="mouse-dispatch",
+        )
+        self._request_dispatch()
+
+    def bind_socket(self, thread: SimThread) -> None:
+        """Route packet notifications to ``thread`` (WSAAsyncSelect)."""
+        self.socket_owner = thread
+
+    def _on_packet(self, packet) -> None:
+        self.queue_dpc(
+            self.personality.nic_dispatch_work,
+            action=lambda: self._deliver_packet(packet),
+            label="nic-dispatch",
+        )
+
+    def _deliver_packet(self, packet) -> None:
+        target = self.socket_owner or self.foreground
+        if target is None or target.done:
+            return
+        self.post_message(
+            target, Message(WM.SOCKET, payload=packet, from_input=True)
+        )
+
+    def _on_disk(self, request: DiskRequest) -> None:
+        self.queue_dpc(
+            self.personality.disk_isr_work.scaled(0.5),
+            action=lambda: self.iomgr.on_disk_complete(request),
+            label="disk-dpc",
+        )
+
+    def _idle_background_tick(self) -> None:
+        """Windows 95's extra idle-time activity (Figure 3)."""
+        personality = self.personality
+        if personality.idle_background_cycles > 0:
+            self.queue_dpc(personality.idle_background_work, label="idle-bg")
+        self.sim.schedule(
+            personality.idle_background_period_ns,
+            self._idle_background_tick,
+            label="idle-bg",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection for the measurement layer
+    # ------------------------------------------------------------------
+    def foreground_queue_len(self) -> int:
+        """Message-queue length of the focused thread (FSM support)."""
+        if self.foreground is None:
+            return 0
+        return len(self.foreground.queue)
+
+    def cpu_is_idle(self) -> bool:
+        """True when no thread/DPC work is executing (hardware view)."""
+        return not self.cpu.busy

@@ -1,0 +1,55 @@
+"""Windows NT 3.51 personality.
+
+The defining structural feature (Sections 2.1, 5.3): the Win32 API is
+implemented by a *user-level server*, so USER/GDI interactions pay
+client-server protection-domain crossings.  On a Pentium each crossing
+flushes the TLB, so NT 3.51 carries the highest TLB-miss annotation
+rate and the most expensive per-call and per-flush overheads — the
+source of its losses in the page-down and OLE-edit microbenchmarks
+(Figures 9 and 10: "the extra TLB misses that occur for NT 3.51 ...
+account for at least 25% of the latency difference").
+
+It keeps the *classic* Windows GUI, whose shorter code paths make some
+trivial USER operations competitive with NT 4.0 (Section 4 attributes
+keystroke differences to code-path length changes from the new GUI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.machine import Machine
+from ..sim.work import HwEvent
+from .personality import OSPersonality
+from .system import WindowsSystem
+
+__all__ = ["PERSONALITY", "system"]
+
+PERSONALITY = OSPersonality(
+    name="nt351",
+    long_name="Windows NT 3.51",
+    gui_generation="classic",
+    filesystem_kind="ntfs",
+    buffer_cache_blocks=2048,  # 8 MB of the 32 MB testbed
+    # Win32-server crossings make every GUI cycle TLB-hungry.
+    user_cycle_factor=1.60,
+    gui_cycle_factor=1.75,
+    gdi_cycle_factor=1.15,
+    gui_events_per_kcycle={
+        HwEvent.ITLB_MISS: 4.0,
+        HwEvent.DTLB_MISS: 3.9,
+        HwEvent.SEGMENT_LOADS: 0.3,
+        HwEvent.UNALIGNED_ACCESS: 0.5,
+    },
+    user_call_cycles=6000,   # client -> csrss -> client round trip
+    gdi_flush_cycles=9000,   # batched message to the Win32 server
+    input_dispatch_cycles=24_000,
+    clock_isr_cycles=450,
+    queuesync_cycles=70_000,
+    save_write_factor=1.0,
+)
+
+
+def system(machine: Optional[Machine] = None, seed: int = 0) -> WindowsSystem:
+    """A booted NT 3.51 on a standard testbed machine."""
+    return WindowsSystem(PERSONALITY, machine=machine, seed=seed).boot()

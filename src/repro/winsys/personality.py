@@ -1,0 +1,242 @@
+"""Operating-system personalities.
+
+All per-OS cost knobs live here, each tied to a finding or statement in
+the paper.  The three personalities (NT 3.51, NT 4.0, Windows 95) share
+one mechanism and differ only in these parameters, so measured
+differences between simulated systems arise from the same architectural
+causes the paper identifies:
+
+* **NT 3.51** implements Win32 in a user-level server, so every
+  USER/GDI interaction pays protection-domain crossings, and each
+  crossing flushes the TLB (Section 5.3: "A lower TLB miss rate implies
+  fewer protection domain crossings in Pentium processors").  Encoded
+  as expensive ``user_call_work``/``gdi_flush_overhead`` and a high
+  TLB-miss annotation rate on GUI-path cycles.
+* **NT 4.0** moved those components into the kernel: cheaper calls,
+  low TLB rate.
+* **Windows 95** runs large GUI components in 16-bit code: segment
+  register loads and unaligned accesses on every GUI cycle, a slow
+  USER path, but a *cheap* GDI fast path (no protection crossing) —
+  which is what lets Win95 post the smallest cumulative Notepad
+  latency (Figure 7) while losing the unbound-keystroke and page-down
+  comparisons.  It also busy-waits between mouse-down and mouse-up
+  (Figure 6) and runs more background activity when idle (Figure 3).
+
+Instructions and data references are charged proportionally to cycles
+at identical rates across personalities, matching the paper's
+observation that they "occur roughly in proportion to cycles across
+the systems" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..sim.work import HwEvent, Work
+
+__all__ = ["OSPersonality", "annotate_proportional"]
+
+#: Instructions retired per cycle (shared by every personality).
+INSTRUCTIONS_PER_CYCLE = 0.9
+#: Data references per cycle (shared by every personality).
+DATA_REFS_PER_CYCLE = 0.4
+
+
+def annotate_proportional(
+    cycles: int,
+    per_kcycle: Dict[HwEvent, float],
+    label: str = "",
+) -> Work:
+    """Build Work whose event counts scale with its cycle count.
+
+    ``per_kcycle`` gives hardware events per 1000 cycles; instruction
+    and data-reference counts are always added at the shared rates.
+    """
+    events = {
+        HwEvent.INSTRUCTIONS: round(cycles * INSTRUCTIONS_PER_CYCLE),
+        HwEvent.DATA_REFS: round(cycles * DATA_REFS_PER_CYCLE),
+    }
+    for event, rate in per_kcycle.items():
+        count = round(cycles * rate / 1000.0)
+        if count:
+            events[event] = events.get(event, 0) + count
+    return Work(cycles=cycles, events=events, label=label)
+
+
+@dataclass(frozen=True)
+class OSPersonality:
+    """Every per-OS parameter, in one auditable place."""
+
+    name: str
+    long_name: str
+    gui_generation: str  # 'classic' (NT 3.51) or 'new' (NT 4.0 / Win95)
+    filesystem_kind: str  # 'ntfs' | 'fat' (Section 2.1)
+    block_size: int = 4096
+    buffer_cache_blocks: int = 3072  # 12 MB of the testbed's 32 MB RAM
+
+    # --- GUI path cost factors -------------------------------------
+    #: Multiplier on USER-path cycles (window management, input
+    #: translation, default processing).
+    user_cycle_factor: float = 1.0
+    #: Multiplier on application GUI computation (rendering/layout).
+    gui_cycle_factor: float = 1.0
+    #: Multiplier on batched GDI drawing cycles.
+    gdi_cycle_factor: float = 1.0
+    #: Hardware events charged per 1000 cycles of any GUI-path work.
+    gui_events_per_kcycle: Dict[HwEvent, float] = field(default_factory=dict)
+
+    # --- Fixed call overheads ---------------------------------------
+    #: Overhead of each USER32 call (GetMessage/PeekMessage/Post...).
+    user_call_cycles: int = 2500
+    #: Overhead per GDI batch flush (the protection-domain crossing).
+    gdi_flush_cycles: int = 4000
+    #: Ops per GDI batch before a forced flush.
+    gdi_batch_limit: int = 10
+    #: Generic cheap kernel syscall (Sleep, SetTimer, ...).
+    syscall_cycles: int = 600
+
+    # --- Interrupts and input pipeline ------------------------------
+    clock_isr_cycles: int = 400  # Section 2.5: ~400 cycles on NT 4.0
+    keyboard_isr_cycles: int = 1500
+    mouse_isr_cycles: int = 1200
+    disk_isr_cycles: int = 2500
+    nic_isr_cycles: int = 2000
+    #: Raw-input → message-queue conversion (system-side, per key edge).
+    input_dispatch_cycles: int = 20_000
+    #: Protocol processing per received packet (system-side).
+    nic_dispatch_cycles: int = 30_000
+    #: Per-tick scheduler/timer DPC work (the Figure 3 bursts).
+    tick_dpc_cycles: int = 2_000
+    #: Heavier housekeeping every ``housekeeping_period_ticks`` ticks.
+    housekeeping_cycles: int = 15_000
+    housekeeping_period_ticks: int = 10
+
+    # --- I/O ----------------------------------------------------------
+    io_syscall_cycles: int = 3_000
+    #: CPU cost per cached block copied to the application.
+    cache_copy_cycles: int = 1_500
+
+    # --- Scheduling ----------------------------------------------------
+    quantum_ticks: int = 2
+
+    # --- Quirks the paper reports ---------------------------------------
+    #: Figure 6: Win95 spins between mouse-down and mouse-up.
+    mouse_click_busywait: bool = False
+    #: Cost of processing the WM_QUEUESYNC that MS Test posts after each
+    #: input event (Figure 7 note: much longer under Win95).
+    queuesync_cycles: int = 60_000
+    #: Extra periodic background activity while idle (Figure 3: "Windows
+    #: 95 shows a higher level of activity").  Zero period disables.
+    idle_background_period_ns: int = 0
+    idle_background_cycles: int = 0
+    #: Section 5.4: on Win95 the system "does not become idle
+    #: immediately" after Word handles an event.  When False, the Word
+    #: model's background engine keeps polling busily instead of
+    #: blocking, which is the behaviour that broke the measurement.
+    app_idle_detection_reliable: bool = True
+    #: Relative cost of a document save (Table 1: NT 4.0 saves slower).
+    save_write_factor: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Work constructors (the only way OS/app code should build Work)
+    # ------------------------------------------------------------------
+    def app_work(self, cycles: int, label: str = "") -> Work:
+        """OS-independent application computation."""
+        return annotate_proportional(cycles, {}, label=label)
+
+    def user_work(self, base_cycles: int, label: str = "") -> Work:
+        """USER-path work (input translation, default window processing)."""
+        cycles = round(base_cycles * self.user_cycle_factor)
+        return annotate_proportional(cycles, self.gui_events_per_kcycle, label=label)
+
+    def gui_work(self, base_cycles: int, label: str = "") -> Work:
+        """Application GUI computation (layout, rendering preparation)."""
+        cycles = round(base_cycles * self.gui_cycle_factor)
+        return annotate_proportional(cycles, self.gui_events_per_kcycle, label=label)
+
+    def gdi_work(self, base: Work) -> Work:
+        """Transform one batched GDI op's base cost for this OS."""
+        cycles = round(base.cycles * self.gdi_cycle_factor)
+        return annotate_proportional(
+            cycles, self.gui_events_per_kcycle, label=base.label
+        )
+
+    # Derived fixed-cost Work values ------------------------------------
+    @property
+    def user_call_work(self) -> Work:
+        return annotate_proportional(
+            self.user_call_cycles, self.gui_events_per_kcycle, label="user-call"
+        )
+
+    @property
+    def gdi_flush_overhead(self) -> Work:
+        return annotate_proportional(
+            self.gdi_flush_cycles, self.gui_events_per_kcycle, label="gdi-flush"
+        )
+
+    @property
+    def syscall_work(self) -> Work:
+        return annotate_proportional(self.syscall_cycles, {}, label="syscall")
+
+    @property
+    def io_syscall_work(self) -> Work:
+        return annotate_proportional(self.io_syscall_cycles, {}, label="io-syscall")
+
+    @property
+    def cache_copy_work(self) -> Work:
+        return annotate_proportional(self.cache_copy_cycles, {}, label="cache-copy")
+
+    @property
+    def input_dispatch_work(self) -> Work:
+        return annotate_proportional(
+            self.input_dispatch_cycles, self.gui_events_per_kcycle, label="input-dispatch"
+        )
+
+    @property
+    def nic_isr_work(self) -> Work:
+        return annotate_proportional(self.nic_isr_cycles, {}, label="nic-isr")
+
+    @property
+    def nic_dispatch_work(self) -> Work:
+        return annotate_proportional(
+            self.nic_dispatch_cycles, self.gui_events_per_kcycle, label="nic-dispatch"
+        )
+
+    @property
+    def queuesync_work(self) -> Work:
+        return annotate_proportional(
+            self.queuesync_cycles, self.gui_events_per_kcycle, label="queuesync"
+        )
+
+    @property
+    def clock_isr_work(self) -> Work:
+        return annotate_proportional(self.clock_isr_cycles, {}, label="clock-isr")
+
+    @property
+    def keyboard_isr_work(self) -> Work:
+        return annotate_proportional(self.keyboard_isr_cycles, {}, label="kbd-isr")
+
+    @property
+    def mouse_isr_work(self) -> Work:
+        return annotate_proportional(self.mouse_isr_cycles, {}, label="mouse-isr")
+
+    @property
+    def disk_isr_work(self) -> Work:
+        return annotate_proportional(self.disk_isr_cycles, {}, label="disk-isr")
+
+    @property
+    def tick_dpc_work(self) -> Work:
+        return annotate_proportional(self.tick_dpc_cycles, {}, label="tick-dpc")
+
+    @property
+    def housekeeping_work(self) -> Work:
+        return annotate_proportional(
+            self.housekeeping_cycles, {}, label="housekeeping"
+        )
+
+    @property
+    def idle_background_work(self) -> Work:
+        return annotate_proportional(
+            self.idle_background_cycles, self.gui_events_per_kcycle, label="idle-bg"
+        )

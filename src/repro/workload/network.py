@@ -1,0 +1,83 @@
+"""Network traffic generation.
+
+The counterpart of the typist for the paper's second event class: a
+deterministic packet source with Poisson-like interarrival times (from
+a named RNG stream) and configurable packet sizes, delivered through
+the machine's NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.timebase import ns_from_ms
+from ..winsys.system import WindowsSystem
+
+__all__ = ["PacketSource"]
+
+
+class PacketSource:
+    """Schedules packet arrivals on the simulated NIC."""
+
+    def __init__(
+        self,
+        system: WindowsSystem,
+        mean_interarrival_ms: float = 200.0,
+        size_bytes: int = 256,
+        size_jitter: float = 0.5,
+        rng_name: str = "network",
+    ) -> None:
+        if mean_interarrival_ms <= 0:
+            raise ValueError("mean_interarrival_ms must be positive")
+        self.system = system
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.size_bytes = size_bytes
+        self.size_jitter = size_jitter
+        self._rng = system.machine.rngs.stream(rng_name)
+        self.packets_sent = 0
+        self._remaining = 0
+        self.finished = False
+
+    def send_burst(self, count: int, start_ns: Optional[int] = None) -> None:
+        """Deliver ``count`` packets with exponential interarrivals."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._remaining = count
+        self.finished = False
+        at = start_ns if start_ns is not None else self.system.now + ns_from_ms(10)
+        self.system.sim.schedule_at(at, self._deliver_next, label="packet")
+
+    def _next_gap_ns(self) -> int:
+        return max(
+            ns_from_ms(1),
+            round(self._rng.expovariate(1.0 / self.mean_interarrival_ms) * 1e6),
+        )
+
+    def _next_size(self) -> int:
+        if self.size_jitter <= 0:
+            return self.size_bytes
+        factor = self._rng.uniform(1.0 - self.size_jitter, 1.0 + self.size_jitter)
+        return max(16, round(self.size_bytes * factor))
+
+    def _deliver_next(self) -> None:
+        if self._remaining <= 0:
+            self.finished = True
+            return
+        self._remaining -= 1
+        self.packets_sent += 1
+        self.system.machine.nic.deliver(
+            payload=f"packet-{self.packets_sent}", size_bytes=self._next_size()
+        )
+        if self._remaining > 0:
+            self.system.sim.schedule(self._next_gap_ns(), self._deliver_next, label="packet")
+        else:
+            self.finished = True
+
+    def run_to_completion(self, max_seconds: float = 600.0) -> int:
+        """Run the simulation until the burst has been delivered."""
+        deadline = self.system.now + round(max_seconds * 1e9)
+        self.system.sim.run(until=lambda: self.finished, until_ns=deadline)
+        if not self.finished:
+            raise TimeoutError("packet burst did not finish in time")
+        self.system.run_until_quiescent(max_ns=deadline)
+        return self.system.now

@@ -1,0 +1,103 @@
+"""Exact input replay.
+
+`MsTestDriver.recorded_script()` rebuilds a *script* (driver-paced);
+this module goes further: a :class:`Recording` stores absolute
+injection offsets, and :class:`ReplayDriver` re-injects each event at
+exactly that offset, independent of how fast the system under test
+processes them.  This is the strongest form of the paper's
+hand-generated-trials control ("the same typist and input") — the
+identical physical input stream applied to different systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..sim.timebase import ns_from_ms
+from ..winsys.system import WindowsSystem
+from .script import Action, Click, Command, Key
+
+__all__ = ["Recording", "ReplayDriver"]
+
+
+@dataclass(frozen=True)
+class Recording:
+    """Input actions with absolute offsets from the recording start."""
+
+    entries: Tuple[Tuple[int, Action], ...]
+
+    @classmethod
+    def from_driver(cls, driver) -> "Recording":
+        """Capture a completed driver run (MsTest or Typist)."""
+        times = driver.injection_times
+        actions = driver._injected_actions
+        if len(times) != len(actions):
+            raise ValueError("driver run incomplete: times/actions mismatch")
+        if not times:
+            return cls(entries=())
+        origin = times[0]
+        return cls(
+            entries=tuple(
+                (time - origin, action) for time, action in zip(times, actions)
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.entries[-1][0] if self.entries else 0
+
+
+class ReplayDriver:
+    """Re-injects a recording at its exact offsets."""
+
+    def __init__(self, system: WindowsSystem, recording: Recording) -> None:
+        self.system = system
+        self.recording = recording
+        self.finished = not recording.entries
+        self.injection_times: List[int] = []
+        self._injected_actions: List[Action] = []
+
+    def start(self, start_ns: int = None) -> None:
+        at = start_ns if start_ns is not None else self.system.now + ns_from_ms(100)
+        for offset, action in self.recording.entries:
+            self.system.sim.schedule_at(
+                at + offset,
+                lambda a=action: self._inject(a),
+                label="replay",
+            )
+        final_offset = self.recording.duration_ns
+        self.system.sim.schedule_at(
+            at + final_offset, self._finish, label="replay-end"
+        )
+
+    def _inject(self, action: Action) -> None:
+        self.injection_times.append(self.system.now)
+        self._injected_actions.append(action)
+        if isinstance(action, Key):
+            self.system.machine.keyboard.keystroke(action.key)
+        elif isinstance(action, Click):
+            self.system.machine.mouse.move(action.x, action.y)
+            self.system.machine.mouse.click(
+                button=action.button, hold_ns=ns_from_ms(action.hold_ms)
+            )
+        elif isinstance(action, Command):
+            self.system.post_command(action.payload)
+        else:
+            raise TypeError(f"cannot replay action {action!r}")
+
+    def _finish(self) -> None:
+        self.finished = True
+
+    def run_to_completion(self, max_seconds: float = 3600.0) -> int:
+        if not self.injection_times and self.recording.entries:
+            self.start()
+        deadline = self.system.now + round(max_seconds * 1e9)
+        self.system.sim.run(until=lambda: self.finished, until_ns=deadline)
+        if not self.finished:
+            raise TimeoutError("replay did not finish in time")
+        self.system.run_until_quiescent(max_ns=deadline)
+        return self.system.now

@@ -1,0 +1,134 @@
+"""The task-oriented benchmark scripts of Section 5.
+
+Each function builds the :class:`InputScript` for one of the paper's
+three tasks.  Scripts are deterministic given an RNG stream, so a task
+replays identically across operating systems — the property that makes
+the cross-OS comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .script import Action, Command, InputScript, Key, Mark, Pause, WaitIdle, type_text_actions
+from .text import generate_text
+
+__all__ = ["TaskSpec", "notepad_task", "word_task", "powerpoint_task"]
+
+
+@dataclass
+class TaskSpec:
+    """A script plus facts about it that analysis wants."""
+
+    name: str
+    script: InputScript
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+def notepad_task(rng, chars: int = 1300, page_downs: int = 12, arrows: int = 40) -> TaskSpec:
+    """Section 5.1: editing session on a 56 KB file.
+
+    Text entry of ~``chars`` characters at approximately 100 wpm (the
+    driver's default 120 ms gap), plus cursor and page movement.
+    """
+    text = generate_text(rng, chars - page_downs - arrows)
+    actions: List[Action] = []
+    typed = type_text_actions(text, pause_ms=120.0)
+    # Sprinkle cursor movement and paging through the typing session.
+    arrow_keys = ("Left", "Right", "Up", "Down")
+    insert_every = max(1, len(typed) // (page_downs + arrows))
+    inserted_pages = inserted_arrows = 0
+    for index, action in enumerate(typed):
+        actions.append(action)
+        if index % insert_every == insert_every - 1:
+            if inserted_pages < page_downs and (index // insert_every) % 4 == 0:
+                actions.append(Key("PageDown", pause_ms=300.0))
+                inserted_pages += 1
+            elif inserted_arrows < arrows:
+                actions.append(Key(rng.choice(arrow_keys), pause_ms=140.0))
+                inserted_arrows += 1
+    newline_count = sum(1 for a in actions if isinstance(a, Key) and a.key == "Enter")
+    return TaskSpec(
+        name="notepad",
+        script=InputScript(actions),
+        info={
+            "chars": len(text),
+            "newlines": newline_count,
+            "page_downs": inserted_pages,
+            "arrows": inserted_arrows,
+        },
+    )
+
+
+def word_task(rng, chars: int = 1000, backspace_rate: float = 0.02) -> TaskSpec:
+    """Section 5.4: compose ~1000 characters with realistic pauses.
+
+    "The timing between keystrokes was varied to simulate realistic
+    pauses when composing a document" — every keystroke carries its own
+    scripted pause.  Includes cursor movement and backspace corrections.
+    """
+    text = generate_text(
+        rng, chars, words_per_sentence=9, sentences_per_paragraph=2
+    )
+    actions: List[Action] = []
+    for char in text:
+        if char == "\n":
+            actions.append(Key("Enter", pause_ms=rng.uniform(1500.0, 4000.0)))
+            continue
+        pause = rng.uniform(150.0, 420.0)
+        if char in ".!?":
+            pause += rng.uniform(600.0, 1800.0)
+        actions.append(Key(char, pause_ms=pause))
+        if char.isalpha() and rng.random() < backspace_rate:
+            actions.append(Key("Backspace", pause_ms=rng.uniform(200.0, 400.0)))
+            actions.append(Key(char, pause_ms=rng.uniform(150.0, 420.0)))
+    # A little cursor movement mid-document.
+    for _ in range(10):
+        actions.append(Key("Left", pause_ms=rng.uniform(150.0, 300.0)))
+    for _ in range(10):
+        actions.append(Key("Right", pause_ms=rng.uniform(150.0, 300.0)))
+    newline_count = sum(1 for a in actions if isinstance(a, Key) and a.key == "Enter")
+    return TaskSpec(
+        name="word",
+        script=InputScript(actions),
+        info={"chars": len(text), "paragraphs": newline_count},
+    )
+
+
+def powerpoint_task(ole_pages=(5, 20, 35), total_pages: int = 46) -> TaskSpec:
+    """Section 5.2: cold start, open a 46-page deck, edit 3 OLE objects,
+    save.  Marks label every Table 1 operation so analysis can match
+    extracted events to script operations."""
+    script = InputScript()
+    script.add(Mark("start-powerpoint"), Command("launch"), WaitIdle(60_000.0))
+    script.add(Pause(1500.0))
+    script.add(Mark("open-document"), Command("open"), WaitIdle(60_000.0))
+    script.add(Pause(2000.0))
+    page = 0
+    for edit_index, ole_page in enumerate(sorted(ole_pages), start=1):
+        while page < ole_page:
+            page += 1
+            script.add(Mark(f"page-down-{page}"), Key("PageDown", pause_ms=900.0))
+        script.add(Pause(1200.0))
+        script.add(
+            Mark(f"ole-edit-{edit_index}"), Command("ole_edit"), WaitIdle(60_000.0)
+        )
+        script.add(Pause(1500.0))
+        script.add(Mark(f"ole-modify-{edit_index}"), Command("ole_modify"))
+        script.add(Pause(1500.0))
+        script.add(
+            Mark(f"ole-close-{edit_index}"), Command("ole_close"), WaitIdle(30_000.0)
+        )
+        script.add(Pause(1200.0))
+    while page < total_pages - 1:
+        page += 1
+        script.add(Mark(f"page-down-{page}"), Key("PageDown", pause_ms=900.0))
+    script.add(Pause(2000.0))
+    script.add(Mark("save-document"), Command("save"), WaitIdle(120_000.0))
+    script.add(Pause(1000.0))
+    return TaskSpec(
+        name="powerpoint",
+        script=script,
+        info={"ole_pages": tuple(sorted(ole_pages)), "pages": total_pages},
+    )

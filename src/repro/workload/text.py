@@ -1,0 +1,80 @@
+"""Deterministic text corpus generation.
+
+The task workloads type prose; its statistics (word lengths, sentence
+lengths, paragraph breaks) shape the latency distributions — word
+boundaries trigger spell-check bursts in the Word model, line fills
+trigger justification.  Text is generated from a named RNG stream so
+every run types exactly the same document.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["generate_text", "WORD_STEMS"]
+
+#: A small vocabulary; realistic word-length distribution matters more
+#: than meaning.
+WORD_STEMS = [
+    "the", "of", "and", "to", "in", "is", "it", "that", "for", "was",
+    "on", "are", "as", "with", "his", "they", "at", "be", "this", "have",
+    "from", "or", "one", "had", "by", "word", "but", "not", "what", "all",
+    "were", "we", "when", "your", "can", "said", "there", "use", "an",
+    "each", "which", "she", "do", "how", "their", "if", "will", "up",
+    "other", "about", "out", "many", "then", "them", "these", "so",
+    "some", "her", "would", "make", "like", "him", "into", "time", "has",
+    "look", "two", "more", "write", "go", "see", "number", "no", "way",
+    "could", "people", "my", "than", "first", "water", "been", "call",
+    "who", "oil", "its", "now", "find", "long", "down", "day", "did",
+    "get", "come", "made", "may", "part", "latency", "system", "event",
+    "measure", "interactive", "response", "benchmark", "throughput",
+    "performance", "interrupt", "counter", "window", "message", "queue",
+]
+
+
+def generate_text(
+    rng,
+    approx_chars: int,
+    words_per_sentence: int = 12,
+    sentences_per_paragraph: int = 4,
+) -> str:
+    """Generate prose of roughly ``approx_chars`` characters.
+
+    Sentences end with '. '; paragraphs end with a newline.  The output
+    always ends at a paragraph boundary so scripts finish on an Enter.
+    """
+    if approx_chars <= 0:
+        raise ValueError("approx_chars must be positive")
+    pieces: List[str] = []
+    length = 0
+    word_in_sentence = 0
+    sentence_in_paragraph = 0
+    sentence_target = max(3, round(rng.gauss(words_per_sentence, 3)))
+    paragraph_target = max(2, round(rng.gauss(sentences_per_paragraph, 1)))
+    while length < approx_chars:
+        word = rng.choice(WORD_STEMS)
+        if word_in_sentence == 0:
+            word = word.capitalize()
+        pieces.append(word)
+        length += len(word)
+        word_in_sentence += 1
+        if word_in_sentence >= sentence_target:
+            pieces.append(". ")
+            length += 2
+            word_in_sentence = 0
+            sentence_in_paragraph += 1
+            sentence_target = max(3, round(rng.gauss(words_per_sentence, 3)))
+            if sentence_in_paragraph >= paragraph_target:
+                # Replace the trailing space with a paragraph break.
+                pieces[-1] = ".\n"
+                sentence_in_paragraph = 0
+                paragraph_target = max(
+                    2, round(rng.gauss(sentences_per_paragraph, 1))
+                )
+        else:
+            pieces.append(" ")
+            length += 1
+    text = "".join(pieces).rstrip()
+    if not text.endswith("\n"):
+        text += "\n"
+    return text

@@ -1,0 +1,115 @@
+"""Human typist model.
+
+The paper's central argument against throughput benchmarks is that they
+"model an infinitely fast user" (Section 1.1); realistic measurement
+requires realistic inter-event times — "even the best typists require
+approximately 120 ms per keystroke" (Section 2, citing Shneiderman).
+This driver replays the same scripts as :class:`MsTestDriver` but with
+a stochastic human timing model and *without* WM_QUEUESYNC injection,
+which is the hand-generated-input arm of the Section 5.4 comparison.
+
+Timing model (all draws from a named deterministic RNG stream):
+
+* base inter-key gap from words-per-minute (1 word = 5 keystrokes),
+  floored at 120 ms/keystroke;
+* multiplicative jitter per keystroke;
+* a longer pause after each word (finger travel / glance at copy);
+* occasional thinking pauses after sentences and paragraphs;
+* optional typo model: a wrong character, a pause, Backspace, fix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.timebase import ns_from_ms
+from ..winsys.system import WindowsSystem
+from .mstest import MsTestDriver
+from .script import Action, InputScript, Key
+
+__all__ = ["TypistModel", "humanize_script", "TypistDriver"]
+
+_MIN_KEYSTROKE_MS = 120.0  # Shneiderman via Section 2
+
+
+class TypistModel:
+    """Draws humanized inter-key gaps and typo decisions."""
+
+    def __init__(
+        self,
+        rng,
+        wpm: float = 70.0,
+        jitter: float = 0.35,
+        word_pause_ms: float = 90.0,
+        sentence_pause_s: Tuple[float, float] = (0.8, 2.5),
+        paragraph_pause_s: Tuple[float, float] = (2.0, 6.0),
+        typo_rate: float = 0.0,
+    ) -> None:
+        if wpm <= 0:
+            raise ValueError("wpm must be positive")
+        self.rng = rng
+        self.wpm = wpm
+        self.jitter = jitter
+        self.word_pause_ms = word_pause_ms
+        self.sentence_pause_s = sentence_pause_s
+        self.paragraph_pause_s = paragraph_pause_s
+        self.typo_rate = typo_rate
+
+    @property
+    def base_gap_ms(self) -> float:
+        """Mean inter-keystroke gap implied by the WPM rating."""
+        return max(_MIN_KEYSTROKE_MS, 60_000.0 / (self.wpm * 5.0))
+
+    def gap_after_ms(self, key: str) -> float:
+        """Humanized pause after typing ``key``."""
+        gap = self.base_gap_ms * self.rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        if key == " ":
+            gap += self.rng.uniform(0.3, 1.7) * self.word_pause_ms
+        elif key in (".", "!", "?"):
+            gap += self.rng.uniform(*self.sentence_pause_s) * 1000.0
+        elif key == "Enter":
+            gap += self.rng.uniform(*self.paragraph_pause_s) * 1000.0
+        return max(_MIN_KEYSTROKE_MS, gap)
+
+    def maybe_typo(self, key: str) -> Optional[str]:
+        """A wrong character to type instead of ``key``, or None."""
+        if len(key) != 1 or not key.isalpha():
+            return None
+        if self.rng.random() >= self.typo_rate:
+            return None
+        return chr(((ord(key.lower()) - 97 + self.rng.randint(1, 25)) % 26) + 97)
+
+
+def humanize_script(script: InputScript, model: TypistModel) -> InputScript:
+    """Rewrite a script's Key actions with human timing (and typos)."""
+    actions: List[Action] = []
+    for action in script:
+        if not isinstance(action, Key):
+            actions.append(action)
+            continue
+        wrong = model.maybe_typo(action.key)
+        if wrong is not None:
+            actions.append(Key(wrong, pause_ms=model.gap_after_ms(wrong) * 1.6))
+            actions.append(Key("Backspace", pause_ms=model.gap_after_ms("Backspace")))
+        actions.append(Key(action.key, pause_ms=model.gap_after_ms(action.key)))
+    return InputScript(actions)
+
+
+class TypistDriver(MsTestDriver):
+    """Hand-typing driver: humanized gaps, no WM_QUEUESYNC."""
+
+    def __init__(
+        self,
+        system: WindowsSystem,
+        script: InputScript,
+        model: Optional[TypistModel] = None,
+        rng_name: str = "typist",
+    ) -> None:
+        model = model or TypistModel(system.machine.rngs.stream(rng_name))
+        super().__init__(
+            system,
+            humanize_script(script, model),
+            queuesync=False,
+            default_pause_ms=model.base_gap_ms,
+        )
+        self.model = model

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine, MachineSpec
+from repro.winsys import boot
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineSpec(master_seed=0))
+
+
+@pytest.fixture
+def nt40():
+    return boot("nt40", seed=0)
+
+
+@pytest.fixture
+def nt351():
+    return boot("nt351", seed=0)
+
+
+@pytest.fixture
+def win95():
+    return boot("win95", seed=0)

@@ -1,0 +1,86 @@
+"""Unit tests for the Section 3.2 analysis representations."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    cumulative_latency_curve,
+    cumulative_vs_events,
+    latency_histogram,
+    variance_summary,
+)
+from repro.core.latency import LatencyEvent, LatencyProfile
+
+MS = 1_000_000
+
+
+def profile_of(*latencies_ms):
+    return LatencyProfile(
+        [
+            LatencyEvent(start_ns=i * 200 * MS, latency_ns=int(l * MS))
+            for i, l in enumerate(latencies_ms)
+        ]
+    )
+
+
+class TestHistogram:
+    def test_counts_per_bin(self):
+        hist = latency_histogram(profile_of(1, 1.5, 3, 5), bin_ms=2.0)
+        assert hist.total == 4
+        assert hist.counts[0] == 2  # [0, 2)
+        assert hist.counts[1] == 1  # [2, 4)
+
+    def test_bin_validation(self):
+        with pytest.raises(ValueError):
+            latency_histogram(profile_of(1), bin_ms=0)
+
+    def test_nonzero_bins(self):
+        hist = latency_histogram(profile_of(1, 9), bin_ms=2.0)
+        nonzero = hist.nonzero_bins()
+        assert len(nonzero) == 2
+        assert nonzero[0][2] == 1
+
+    def test_empty_profile(self):
+        hist = latency_histogram(profile_of(), bin_ms=2.0)
+        assert hist.total == 0
+
+    def test_max_ms_override(self):
+        hist = latency_histogram(profile_of(1, 50), bin_ms=10.0, max_ms=20.0)
+        # Events beyond max fall outside; histogram covers [0, 20].
+        assert hist.bin_edges_ms[-1] <= 30.0
+
+
+class TestCumulativeCurves:
+    def test_sorted_by_duration_not_time(self):
+        """Section 3.2: 'events are sorted by their duration'."""
+        latencies, cumulative = cumulative_latency_curve(profile_of(30, 10, 20))
+        assert list(latencies) == [10, 20, 30]
+        assert list(cumulative) == [10, 30, 60]
+
+    def test_cumulative_vs_events_index(self):
+        index, cumulative = cumulative_vs_events(profile_of(5, 5, 5))
+        assert list(index) == [1, 2, 3]
+        assert cumulative[-1] == 15
+
+    def test_monotone(self):
+        _x, cumulative = cumulative_vs_events(profile_of(3, 1, 4, 1, 5))
+        assert np.all(np.diff(cumulative) >= 0)
+
+    def test_empty(self):
+        latencies, cumulative = cumulative_latency_curve(profile_of())
+        assert len(latencies) == 0 and len(cumulative) == 0
+
+
+class TestVarianceSummary:
+    def test_fields(self):
+        summary = variance_summary(profile_of(50, 150, 2500))
+        assert summary["count"] == 3
+        assert summary["above_100ms"] == 2
+        assert summary["above_2s"] == 1
+        assert summary["max_ms"] == 2500
+        assert summary["total_ms"] == 2700
+
+    def test_empty(self):
+        summary = variance_summary(profile_of())
+        assert summary["count"] == 0
+        assert summary["mean_ms"] == 0.0

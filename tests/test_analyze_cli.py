@@ -1,0 +1,69 @@
+"""Tests for the repro-analyze CLI."""
+
+import json
+
+import pytest
+
+from repro.analyze import main
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.samples import SampleTrace
+from repro.core.serialize import profile_to_dict, save_json, trace_to_dict
+
+MS = 1_000_000
+
+
+@pytest.fixture
+def profile_path(tmp_path):
+    profile = LatencyProfile(
+        [
+            LatencyEvent(start_ns=i * 200 * MS, latency_ns=(5 + i) * MS)
+            for i in range(20)
+        ]
+        + [LatencyEvent(start_ns=50 * 200 * MS, latency_ns=150 * MS)],
+        name="archived",
+    )
+    return save_json(profile_to_dict(profile), tmp_path / "profile.json")
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    times = [i * MS for i in range(50)] + [60 * MS]
+    return save_json(
+        trace_to_dict(SampleTrace(times, loop_ns=MS)), tmp_path / "trace.json"
+    )
+
+
+class TestAnalyzeProfile:
+    def test_summary_and_histogram(self, profile_path, capsys):
+        assert main([str(profile_path)]) == 0
+        out = capsys.readouterr().out
+        assert "archived" in out
+        assert "histogram" in out
+        assert "count" in out
+
+    def test_thresholds(self, profile_path, capsys):
+        assert main([str(profile_path), "--thresholds", "10,100"]) == 0
+        out = capsys.readouterr().out
+        assert "interarrivals" in out
+        assert "100" in out
+
+    def test_timeline_and_refresh(self, profile_path, capsys):
+        assert main([str(profile_path), "--timeline", "--refresh"]) == 0
+        out = capsys.readouterr().out
+        assert "refresh-adjusted" in out
+        assert "threshold" in out  # timeline footer
+
+
+class TestAnalyzeTrace:
+    def test_trace_summary(self, trace_path, capsys):
+        assert main([str(trace_path), "--windows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "idle-loop trace" in out
+        assert "utilization" in out
+
+
+class TestErrors:
+    def test_unknown_kind(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "mystery"}))
+        assert main([str(path)]) == 2

@@ -1,0 +1,133 @@
+"""Unit tests for the InteractiveApp framework."""
+
+import pytest
+
+from repro.sim.timebase import ns_from_ms
+from repro.apps.base import InteractiveApp
+from repro.winsys import WM, boot
+
+
+class Recorder(InteractiveApp):
+    name = "recorder"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.log = []
+
+    def on_char(self, char):
+        self.log.append(("char", char))
+        yield self.app_compute(10_000)
+
+    def on_key(self, key):
+        self.log.append(("key", key))
+        yield self.app_compute(10_000)
+
+    def on_command(self, command):
+        self.log.append(("command", command))
+        yield self.app_compute(10_000)
+
+
+class TestPump:
+    def test_dispatch_routes_by_kind(self, nt40):
+        app = Recorder(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("a")
+        nt40.post_command("go")
+        nt40.run_for(ns_from_ms(50))
+        kinds = [entry[0] for entry in app.log]
+        assert "char" in kinds and "key" in kinds and "command" in kinds
+
+    def test_queuesync_costs_time_but_no_handler(self, nt40):
+        app = Recorder(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.post_queuesync()
+        nt40.run_for(ns_from_ms(20))
+        assert app.log == []  # no user-visible handling
+        assert nt40.machine.cpu.busy_ns - busy_before > 0
+
+    def test_quit_via_wm_quit(self, nt40):
+        from repro.winsys.messages import Message
+
+        app = Recorder(nt40)
+        thread = app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.kernel.post_message(thread, Message(WM.QUIT))
+        nt40.run_for(ns_from_ms(20))
+        assert thread.done
+
+    def test_events_handled_counts_input_only(self, nt40):
+        app = Recorder(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("a")  # 3 input messages
+        nt40.post_queuesync()  # not input
+        nt40.run_for(ns_from_ms(50))
+        assert app.events_handled == 3
+
+    def test_default_handlers_cost_cpu(self, nt40):
+        app = InteractiveApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("F5")
+        nt40.run_for(ns_from_ms(50))
+        assert nt40.machine.cpu.busy_ns - busy_before > 500_000
+
+
+class BackgroundApp(InteractiveApp):
+    name = "bg"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.units = 0
+        self.pending = 3
+
+    def on_char(self, char):
+        self.pending += 3
+        yield self.app_compute(10_000)
+
+    def has_background_work(self):
+        return self.pending > 0
+
+    def run_background_step(self):
+        self.pending -= 1
+        self.units += 1
+        yield self.app_compute(50_000)
+
+
+class TestBackgroundProtocol:
+    def test_background_runs_when_queue_empty(self, nt40):
+        app = BackgroundApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(50))
+        assert app.units == 3
+        assert not app.has_background_work()
+
+    def test_input_processed_between_background_steps(self, nt40):
+        app = BackgroundApp(nt40)
+        app.pending = 1000
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("a")
+        nt40.run_for(ns_from_ms(100))
+        assert app.events_handled >= 1  # input was not starved
+
+
+class TestSyscallBuilders:
+    def test_work_kinds(self, nt40):
+        app = InteractiveApp(nt40)
+        assert app.app_compute(1000).work.cycles == 1000
+        assert app.gui_compute(1000).work.cycles == round(
+            1000 * nt40.personality.gui_cycle_factor
+        )
+        assert app.user_compute(1000).work.cycles == round(
+            1000 * nt40.personality.user_cycle_factor
+        )
+
+    def test_draw_builds_gdi_op(self, nt40):
+        op = InteractiveApp(nt40).draw(5000, pixels=99)
+        assert op.base.cycles == 5000
+        assert op.pixels == 99

@@ -1,0 +1,175 @@
+"""Unit tests for the application models (echo, notepad, word, shell)."""
+
+import pytest
+
+from repro.apps import EchoApp, NotepadApp, ShellApp, WordApp
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import boot
+
+
+def settle(system, ms=200):
+    system.run_for(ns_from_ms(ms))
+
+
+class TestEchoApp:
+    def test_echoes_and_timestamps(self, nt40):
+        app = EchoApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        for _ in range(3):
+            nt40.machine.keyboard.keystroke("a")
+            settle(nt40, 100)
+        assert app.chars_echoed == 3
+        assert len(app.timestamp_latencies_ns) == 3
+        # Timestamped latency covers the compute (~7 ms).
+        assert all(5e6 < t < 10e6 for t in app.timestamp_latencies_ns)
+
+    def test_timestamps_miss_input_path(self, nt40):
+        """The Figure 1 argument: app-level timing < total busy time."""
+        app = EchoApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("a")
+        settle(nt40, 100)
+        total_busy = nt40.machine.cpu.busy_ns - busy_before
+        assert total_busy > app.timestamp_latencies_ns[0] + 1_000_000
+
+
+class TestNotepadApp:
+    def test_printable_char_updates_buffer(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        length_before = app.length
+        nt40.machine.keyboard.keystroke("x")
+        settle(nt40, 50)
+        assert app.length == length_before + 1
+        assert app.keystrokes >= 1
+
+    def test_newline_refreshes_screen(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        nt40.machine.keyboard.keystroke("Enter")
+        settle(nt40, 100)
+        assert app.refreshes == 1
+
+    def test_pagedown_refresh_is_long_event(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("PageDown")
+        settle(nt40, 200)
+        busy = nt40.machine.cpu.busy_ns - busy_before
+        assert busy > ns_from_ms(20)  # the >= ~28 ms class
+
+    def test_char_is_short_event(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("x")
+        settle(nt40, 100)
+        busy = nt40.machine.cpu.busy_ns - busy_before
+        assert busy < ns_from_ms(10)
+
+    def test_backspace(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        length_before = app.length
+        nt40.machine.keyboard.keystroke("Backspace")
+        settle(nt40, 50)
+        assert app.length == length_before - 1
+
+
+class TestWordApp:
+    def test_char_queues_background_units(self, nt40):
+        app = WordApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        nt40.machine.keyboard.keystroke("a")
+        settle(nt40, 30)
+        assert app.chars_typed == 1
+        assert len(app._pending) >= 4
+
+    def test_queuesync_drains_pending(self, nt40):
+        app = WordApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        nt40.machine.keyboard.keystroke("a")
+        settle(nt40, 60)
+        assert len(app._pending) > 0
+        nt40.post_queuesync()
+        settle(nt40, 200)
+        assert len(app._pending) == 0
+        assert app.bg_units_run >= 4
+
+    def test_timer_drains_lazily_on_nt(self, nt40):
+        app = WordApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        nt40.machine.keyboard.keystroke("a")
+        settle(nt40, 1500)  # several timer periods
+        assert len(app._pending) == 0
+        assert app.bg_units_run >= 4
+
+    def test_carriage_return_forces_paragraph_work(self, nt40):
+        app = WordApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("Enter")
+        settle(nt40, 300)
+        assert app.paragraphs == 1
+        assert nt40.machine.cpu.busy_ns - busy_before > ns_from_ms(40)
+
+    def test_win95_busy_polls_after_event(self, win95):
+        app = WordApp(win95)
+        app.start(foreground=True)
+        settle(win95, 5)
+        win95.machine.keyboard.keystroke("a")
+        settle(win95, 1000)
+        # One second later the system is still not idle (the Section
+        # 5.4 breakage).
+        assert not win95.quiescent()
+
+    def test_nt_goes_idle_after_draining(self, nt40):
+        app = WordApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        nt40.machine.keyboard.keystroke("a")
+        settle(nt40, 2000)
+        assert nt40.quiescent()
+
+
+class TestShellApp:
+    def test_maximize_runs_animation(self, nt40):
+        app = ShellApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        nt40.post_command("maximize")
+        settle(nt40, 1000)
+        assert app.maximizes_completed == 1
+
+    def test_animation_takes_several_hundred_ms(self, nt40):
+        app = ShellApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        start = nt40.now
+        nt40.post_command("maximize")
+        nt40.run_until_quiescent(max_ns=nt40.now + ns_from_ms(3000))
+        duration = nt40.now - start
+        assert ns_from_ms(350) < duration < ns_from_ms(900)
+
+    def test_unbound_key_uses_default_path(self, nt40):
+        app = ShellApp(nt40)
+        app.start(foreground=True)
+        settle(nt40, 5)
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("F5")
+        settle(nt40, 50)
+        busy = nt40.machine.cpu.busy_ns - busy_before
+        assert ns_from_ms(0.5) < busy < ns_from_ms(8)

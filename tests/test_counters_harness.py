@@ -1,0 +1,125 @@
+"""Unit tests for the counter-sampling harness."""
+
+import pytest
+
+from repro.core.counters import CounterProfile, CounterSampler
+from repro.sim.timebase import ns_from_ms
+from repro.sim.work import HwEvent
+from repro.winsys import Compute, boot
+
+
+def make_operation(system, cycles=100_000, events=None):
+    def operation():
+        work = system.personality.app_work(cycles)
+        if events:
+            from repro.sim.work import Work
+
+            work = Work(cycles, dict(events))
+
+        def program():
+            yield Compute(work)
+
+        system.spawn("op", program())
+        system.run_until_quiescent(max_ns=system.now + 10**9)
+
+    return operation
+
+
+class TestCounterSampler:
+    def test_cycles_measured(self, nt40):
+        sampler = CounterSampler(nt40)
+        profile = sampler.measure(
+            "op",
+            make_operation(nt40, cycles=100_000),
+            [HwEvent.INSTRUCTIONS],
+            trials_per_config=3,
+        )
+        # Operation wall time includes dispatch/quiescence overheads,
+        # so cycles >= the pure compute.
+        assert profile.mean_cycles >= 100_000
+        assert len(profile.cycles_per_trial) == 3
+
+    def test_event_counts_mean(self, nt40):
+        sampler = CounterSampler(nt40)
+        profile = sampler.measure(
+            "op",
+            make_operation(nt40, events={HwEvent.SEGMENT_LOADS: 42}),
+            [HwEvent.SEGMENT_LOADS],
+            trials_per_config=4,
+        )
+        assert profile.count(HwEvent.SEGMENT_LOADS) == pytest.approx(42, abs=1)
+
+    def test_two_counters_at_a_time(self, nt40):
+        """Four events require two configurations (Pentium limit)."""
+        sampler = CounterSampler(nt40)
+        calls = []
+        operation = make_operation(nt40)
+
+        def counted_operation():
+            calls.append(1)
+            operation()
+
+        sampler.measure(
+            "op",
+            counted_operation,
+            [
+                HwEvent.ITLB_MISS,
+                HwEvent.DTLB_MISS,
+                HwEvent.SEGMENT_LOADS,
+                HwEvent.UNALIGNED_ACCESS,
+            ],
+            trials_per_config=5,
+            warmup=1,
+        )
+        # 1 warmup + 2 configs x 5 trials.
+        assert len(calls) == 11
+
+    def test_keep_first_policy(self, nt40):
+        sampler = CounterSampler(nt40)
+        profile = sampler.measure(
+            "op",
+            make_operation(nt40),
+            [HwEvent.INSTRUCTIONS],
+            trials_per_config=5,
+            keep_trials="first",
+        )
+        assert len(profile.cycles_per_trial) == 1
+
+    def test_invalid_policy_rejected(self, nt40):
+        with pytest.raises(ValueError):
+            CounterSampler(nt40).measure(
+                "op", lambda: None, [HwEvent.INSTRUCTIONS], keep_trials="median"
+            )
+
+    def test_prepare_runs_outside_measurement(self, nt40):
+        sampler = CounterSampler(nt40)
+        prepared = []
+        operation = make_operation(nt40)
+        profile = sampler.measure(
+            "op",
+            operation,
+            [HwEvent.INSTRUCTIONS],
+            trials_per_config=2,
+            warmup=1,
+            prepare=lambda: prepared.append(nt40.now),
+        )
+        assert len(prepared) == 3  # warmup + 2 trials
+
+
+class TestCounterProfile:
+    def test_latency_from_cycles(self):
+        profile = CounterProfile(name="x", cycles_per_trial=[100_000, 100_000])
+        assert profile.latency_ns == 1_000_000
+        assert profile.latency_ms == pytest.approx(1.0)
+
+    def test_tlb_aggregate(self):
+        profile = CounterProfile(
+            name="x", means={HwEvent.ITLB_MISS: 10.0, HwEvent.DTLB_MISS: 5.0}
+        )
+        assert profile.tlb_misses() == 15.0
+
+    def test_empty_profile(self):
+        profile = CounterProfile(name="x")
+        assert profile.mean_cycles == 0.0
+        assert profile.std_cycles() == 0.0
+        assert profile.count(HwEvent.ITLB_MISS) == 0.0

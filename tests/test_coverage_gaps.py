@@ -1,0 +1,154 @@
+"""Grab-bag tests for remaining edges across modules."""
+
+import numpy as np
+import pytest
+
+from repro.apps import NotepadApp, ShellApp, SlidesApp
+from repro.core.analysis import distribution_distance
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.samples import SampleTrace
+from repro.core.visualize import curve_plot, event_time_series
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import WM, Message, boot
+
+MS = 1_000_000
+
+
+def profile_of(*latencies_ms):
+    return LatencyProfile(
+        [
+            LatencyEvent(start_ns=i * 100 * MS, latency_ns=int(l * MS))
+            for i, l in enumerate(latencies_ms)
+        ]
+    )
+
+
+class TestDistributionDistance:
+    def test_identical_is_zero(self):
+        a = profile_of(1, 2, 3)
+        assert distribution_distance(a, a) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert distribution_distance(profile_of(1, 2), profile_of(100, 200)) == 1.0
+
+    def test_symmetry(self):
+        a, b = profile_of(1, 2, 3, 10), profile_of(2, 3, 4)
+        assert distribution_distance(a, b) == distribution_distance(b, a)
+
+    def test_empty_cases(self):
+        assert distribution_distance(profile_of(), profile_of()) == 0.0
+        assert distribution_distance(profile_of(1), profile_of()) == 1.0
+
+    def test_bounded(self):
+        a, b = profile_of(1, 5, 9), profile_of(2, 5, 50)
+        assert 0.0 <= distribution_distance(a, b) <= 1.0
+
+
+class TestVisualizeEdges:
+    def test_event_series_linear_scale(self):
+        text = event_time_series(
+            profile_of(5, 50), log_scale=False, threshold_ms=None, width=30, height=6
+        )
+        assert "|" in text
+
+    def test_event_series_explicit_window(self):
+        profile = profile_of(5, 50, 500)
+        text = event_time_series(
+            profile, start_ns=0, end_ns=150 * MS, width=30, height=6
+        )
+        assert "span" in text
+
+    def test_curve_plot_single_point(self):
+        assert "*" in curve_plot([1.0], [2.0])
+
+
+class TestSampleTraceWindows:
+    def test_explicit_start_end(self):
+        trace = SampleTrace([0, MS, 11 * MS], loop_ns=MS)
+        starts, util = trace.utilization_windows(
+            5 * MS, start_ns=0, end_ns=20 * MS
+        )
+        assert len(starts) == 4
+        assert util[-1] == 0.0  # nothing after the trace
+
+    def test_degenerate_window(self):
+        trace = SampleTrace([0, MS], loop_ns=MS)
+        starts, util = trace.utilization_windows(5 * MS, start_ns=10, end_ns=10)
+        assert len(starts) == 0
+
+
+class TestAppDefaultPaths:
+    def test_notepad_pageup_and_arrows(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        for key in ("PageUp", "Up", "Down"):
+            nt40.machine.keyboard.keystroke(key)
+            nt40.run_for(ns_from_ms(80))
+        assert app.keystrokes == 3
+        assert app.refreshes == 1  # PageUp refreshed
+
+    def test_notepad_unknown_special_key(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("F9")
+        nt40.run_for(ns_from_ms(50))  # default DefWindowProc path, no crash
+        assert app.keystrokes == 1
+
+    def test_slides_unknown_command(self, nt40):
+        app = SlidesApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.post_command("frobnicate")
+        nt40.run_for(ns_from_ms(50))  # default command path
+
+    def test_slides_pageup_renders_previous(self, nt40):
+        app = SlidesApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        app.page = 3
+        busy_before = nt40.machine.cpu.busy_ns
+        nt40.machine.keyboard.keystroke("PageUp")
+        nt40.run_until_quiescent(max_ns=nt40.now + 10**10)
+        assert nt40.machine.cpu.busy_ns - busy_before > ns_from_ms(50)
+
+    def test_shell_non_animation_timer(self, nt40):
+        from repro.winsys import SetTimer
+
+        app = ShellApp(nt40)
+        thread = app.start(foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        # Post a stray WM_TIMER with an unknown id; the default handler
+        # must absorb it.
+        nt40.kernel.post_message(thread, Message(WM.TIMER, payload=99))
+        nt40.run_for(ns_from_ms(50))
+
+
+class TestMessageRoutingEdges:
+    def test_timer_for_finished_thread_dropped(self, nt40):
+        from repro.winsys import Compute, SetTimer
+
+        def program():
+            yield SetTimer(timer_id=1, period_ns=ns_from_ms(20))
+            yield Compute(nt40.personality.app_work(1000))
+            # exits with the timer still armed
+
+        nt40.spawn("brief", program())
+        nt40.run_for(ns_from_ms(200))  # ticks fire; no crash, no delivery
+        # The orphaned timer is reaped, restoring quiescence.
+        assert not nt40.kernel._timers
+        assert nt40.quiescent()
+
+    def test_packet_with_done_socket_owner_dropped(self, nt40):
+        from repro.winsys import Compute
+
+        def program():
+            yield Compute(nt40.personality.app_work(1000))
+
+        thread = nt40.spawn("brief", program())
+        nt40.bind_socket(thread)
+        nt40.run_for(ns_from_ms(20))
+        assert thread.done
+        nt40.machine.nic.deliver("late")
+        nt40.run_for(ns_from_ms(20))  # dropped silently

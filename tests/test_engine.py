@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self, sim):
+        order = []
+        sim.schedule(10, lambda: order.append(1))
+        sim.schedule(10, lambda: order.append(2))
+        sim.schedule(10, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_callbacks_can_schedule_more(self, sim):
+        seen = []
+
+        def first():
+            seen.append("first")
+            sim.schedule(5, lambda: seen.append("second"))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert seen == ["first", "second"]
+        assert sim.now == 15
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(10, lambda: fired.append(True))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append("a"))
+        handle = sim.schedule(20, lambda: fired.append("b"))
+        sim.schedule(30, lambda: fired.append("c"))
+        handle.cancel()
+        sim.run()
+        assert fired == ["a", "c"]
+
+    def test_pending_count_ignores_cancelled(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        assert sim.pending_count() == 2
+        handle.cancel()
+        assert sim.pending_count() == 1
+
+    def test_peek_next_time_skips_cancelled(self, sim):
+        first = sim.schedule(10, lambda: None)
+        sim.schedule(25, lambda: None)
+        first.cancel()
+        assert sim.peek_next_time() == 25
+
+
+class TestRunBounds:
+    def test_until_ns_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append(True))
+        sim.run(until_ns=50)
+        assert fired == []
+        assert sim.now == 50
+
+    def test_until_ns_inclusive_of_boundary_events(self, sim):
+        fired = []
+        sim.schedule(50, lambda: fired.append(True))
+        sim.run(until_ns=50)
+        assert fired == [True]
+
+    def test_resume_after_horizon(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append(True))
+        sim.run(until_ns=50)
+        sim.run(until_ns=150)
+        assert fired == [True]
+
+    def test_until_predicate(self, sim):
+        count = []
+        for delay in (10, 20, 30, 40):
+            sim.schedule(delay, lambda: count.append(1))
+        sim.run(until=lambda: len(count) >= 2)
+        assert len(count) == 2
+
+    def test_max_events(self, sim):
+        count = []
+        for delay in (10, 20, 30):
+            sim.schedule(delay, lambda: count.append(1))
+        sim.run(max_events=1)
+        assert len(count) == 1
+
+    def test_stop_from_callback(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stopper")
+            sim.stop()
+
+        sim.schedule(10, stopper)
+        sim.schedule(20, lambda: fired.append("late"))
+        sim.run()
+        assert fired == ["stopper"]
+
+    def test_run_not_reentrant(self, sim):
+        def inner():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(1, inner)
+        sim.run()
+
+    def test_empty_run_advances_to_horizon(self, sim):
+        assert sim.run(until_ns=1000) == 1000
+
+    def test_events_executed_counter(self, sim):
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2

@@ -1,0 +1,72 @@
+"""Tests for event-class grouping (per-class latency breakdowns)."""
+
+import pytest
+
+from repro.apps import NotepadApp
+from repro.core import MeasurementSession, by_event_class, class_summary_table
+from repro.core.analysis import default_event_class
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.workload.script import InputScript, Key
+
+MS = 1_000_000
+
+
+def event(first_input, latency_ms=5, kinds=()):
+    return LatencyEvent(
+        start_ns=0,
+        latency_ns=latency_ms * MS,
+        first_input=first_input,
+        message_kinds=kinds,
+    )
+
+
+class TestDefaultClassifier:
+    def test_printables_collapse(self):
+        assert default_event_class(event("a")) == "printable"
+        assert default_event_class(event("z")) == "printable"
+
+    def test_named_keys_kept(self):
+        assert default_event_class(event("PageDown")) == "PageDown"
+        assert default_event_class(event("Enter")) == "Enter"
+
+    def test_timer_and_other(self):
+        assert default_event_class(event(None, kinds=("WM_TIMER",))) == "timer"
+        assert default_event_class(event(None)) == "other"
+
+    def test_tuple_command(self):
+        assert default_event_class(event(("ole_edit", 3))) == "ole_edit"
+
+
+class TestGrouping:
+    def test_groups_partition_profile(self):
+        profile = LatencyProfile(
+            [event("a"), event("b"), event("Enter"), event("PageDown")]
+        )
+        groups = by_event_class(profile)
+        assert sum(len(g) for g in groups.values()) == len(profile)
+        assert len(groups["printable"]) == 2
+
+    def test_ordered_by_count(self):
+        profile = LatencyProfile([event("a"), event("b"), event("Enter")])
+        assert list(by_event_class(profile)) == ["printable", "Enter"]
+
+    def test_table_renders(self):
+        profile = LatencyProfile([event("a", 5), event("Enter", 30)])
+        text = class_summary_table(profile).render()
+        assert "printable" in text and "Enter" in text and "share" in text
+
+
+class TestEndToEnd:
+    def test_notepad_classes_match_paper_structure(self):
+        script = InputScript(
+            [Key(c, pause_ms=130.0) for c in "abcd"]
+            + [Key("Enter", pause_ms=300.0), Key("PageDown", pause_ms=300.0)]
+        )
+        result = MeasurementSession("nt40", NotepadApp).run(
+            script, remove_queuesync=True, max_seconds=60
+        )
+        groups = by_event_class(result.profile)
+        assert len(groups["printable"]) == 4
+        # The refresh classes are an order of magnitude slower.
+        assert groups["Enter"].mean_ms() > 4 * groups["printable"].mean_ms()
+        assert groups["PageDown"].mean_ms() > 4 * groups["printable"].mean_ms()

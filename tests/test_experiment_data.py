@@ -1,0 +1,65 @@
+"""Tests on experiment data payloads (the numbers behind the figures)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_experiment("fig9", seed=0)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_experiment("fig6", seed=0)
+
+
+class TestFig9Data:
+    def test_latency_ordering(self, fig9):
+        latency = fig9.data["latency_ms"]
+        assert latency["nt40"] < latency["win95"] < latency["nt351"]
+
+    def test_tlb_share_band(self, fig9):
+        assert 0.25 <= fig9.data["tlb_share_of_nt_gap"] <= 0.50
+
+    def test_win95_tlb_ratio_near_paper(self, fig9):
+        assert fig9.data["win95_tlb_ratio"] == pytest.approx(1.93, rel=0.15)
+
+    def test_segment_loads_dominated_by_win95(self, fig9):
+        seg = fig9.data["seg"]
+        assert seg["win95"] > 10 * seg["nt40"]
+        assert seg["win95"] > 10 * seg["nt351"]
+
+    def test_ipc_uniform(self, fig9):
+        ipc = fig9.data["ipc"]
+        assert max(ipc.values()) / min(ipc.values()) < 1.1
+
+
+class TestFig6Data:
+    def test_keystroke_values_millisecond_scale(self, fig6):
+        for os_name, stats in fig6.data.items():
+            assert 0.5 <= stats["key_ms"] <= 10.0, os_name
+
+    def test_win95_click_is_press_duration(self, fig6):
+        assert fig6.data["win95"]["click_ms"] == pytest.approx(90.0, rel=0.1)
+
+    def test_trial_counts(self, fig6):
+        for stats in fig6.data.values():
+            assert stats["key_trials"] >= 25
+            assert stats["click_trials"] >= 25
+
+
+class TestRunnerSave:
+    def test_save_writes_json(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        code = main(["fig1", "--checks-only", "--save", str(tmp_path)])
+        assert code == 0
+        saved = list(tmp_path.glob("*.json"))
+        assert len(saved) == 1
+        import json
+
+        payload = json.loads(saved[0].read_text())
+        assert payload["id"] == "fig1"
+        assert all(check["passed"] for check in payload["checks"])

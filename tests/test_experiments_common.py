@@ -1,0 +1,110 @@
+"""Tests for the experiments framework itself."""
+
+import pytest
+
+from repro.experiments.common import (
+    ALL_OS,
+    Check,
+    ExperimentResult,
+    checks_table,
+    inject_click,
+    inject_keystroke,
+    post_command,
+)
+from repro.winsys import boot
+
+
+class TestCheck:
+    def test_str_pass_fail(self):
+        assert "[PASS]" in str(Check("x", True))
+        assert "[FAIL]" in str(Check("x", False, "why"))
+        assert "why" in str(Check("x", False, "why"))
+
+
+class TestExperimentResult:
+    def test_check_records(self):
+        result = ExperimentResult(id="t", title="T")
+        result.check("ok", True)
+        result.check("bad", False, "detail")
+        assert not result.all_passed
+        assert len(result.failed_checks()) == 1
+
+    def test_check_coerces_truthiness(self):
+        result = ExperimentResult(id="t", title="T")
+        check = result.check("numpy-ish", 1)
+        assert check.passed is True
+
+    def test_render_contains_everything(self):
+        from repro.core.report import TextTable
+
+        result = ExperimentResult(id="t", title="Title Here")
+        table = TextTable(["a"], title="tbl")
+        table.add_row(1)
+        result.tables.append(table)
+        result.figures.append("FIGURE-BLOCK")
+        result.check("c1", True)
+        text = result.render()
+        assert "Title Here" in text
+        assert "tbl" in text
+        assert "FIGURE-BLOCK" in text
+        assert "c1" in text
+
+    def test_checks_table(self):
+        result = ExperimentResult(id="t", title="T")
+        result.check("one", True, "d")
+        text = checks_table(result).render()
+        assert "one" in text and "PASS" in text
+
+
+class TestConstants:
+    def test_os_order_matches_paper(self):
+        assert ALL_OS == ("nt351", "nt40", "win95")
+
+
+class TestInjectionHelpers:
+    def test_inject_keystroke_settles(self, nt40):
+        from repro.apps import NotepadApp
+
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(5_000_000)
+        inject_keystroke(nt40, "a")
+        # Handled before the helper returned: both WM_KEYDOWN and
+        # WM_CHAR incremented the counter.
+        assert app.keystrokes == 2
+
+    def test_inject_click_settles(self, nt40):
+        from repro.apps import ShellApp
+
+        app = ShellApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(5_000_000)
+        inject_click(nt40, hold_ms=20.0)
+        assert app.events_handled >= 1  # down handled; up may trail the hold
+        nt40.run_for(100_000_000)
+        assert app.events_handled == 2
+
+    def test_post_command_settles(self, nt40):
+        from repro.apps import ShellApp
+
+        app = ShellApp(nt40)
+        app.start(foreground=True)
+        nt40.run_for(5_000_000)
+        post_command(nt40, "maximize")
+        assert app.maximizes_completed == 1
+
+
+class TestSharedRunCaches:
+    def test_word_runs_cached_per_key(self):
+        from repro.experiments.word_runs import word_session
+
+        a = word_session("nt351", "mstest", chars=80, seed=0)
+        b = word_session("nt351", "mstest", chars=80, seed=0)
+        assert a is b  # same object: cache hit
+
+    def test_word_runs_distinct_keys(self):
+        from repro.experiments.word_runs import word_session
+
+        a = word_session("nt351", "mstest", chars=80, seed=0)
+        b = word_session("nt351", "typist", chars=80, seed=0)
+        assert a is not b

@@ -1,0 +1,115 @@
+"""Unit tests for event extraction (busy periods -> latency profiles)."""
+
+import pytest
+
+from repro.core.extract import BusyPeriod, Episode, EventExtractor
+from repro.core.samples import SampleTrace
+
+MS = 1_000_000
+LOOP = 1 * MS
+
+
+def trace_from_busy(*bursts):
+    """Build a sample trace with idle ms records and given busy bursts.
+
+    ``bursts`` are (start_ms, busy_ms) pairs on an otherwise idle
+    timeline of 1 ms records.
+    """
+    times = []
+    t = 0
+    horizon = max((start + busy for start, busy in bursts), default=0) + 20
+    bursts = sorted(bursts)
+    index = 0
+    while t < horizon:
+        if index < len(bursts) and t == bursts[index][0]:
+            start, busy = bursts[index]
+            index += 1
+            # Idle loop starved: next record after busy + remaining loop.
+            times.append((start + busy + 1) * MS)
+            t = start + busy + 1
+        else:
+            t += 1
+            times.append(t * MS)
+    return SampleTrace([0] + times, loop_ns=LOOP)
+
+
+class TestBusyPeriods:
+    def test_single_burst_detected(self):
+        trace = trace_from_busy((10, 5))
+        periods = EventExtractor().busy_periods(trace)
+        assert len(periods) == 1
+        assert periods[0].busy_ns == 5 * MS
+        assert periods[0].start_ns == 10 * MS
+
+    def test_quiet_trace_no_periods(self):
+        trace = trace_from_busy()
+        assert EventExtractor().busy_periods(trace) == []
+
+    def test_two_separate_bursts(self):
+        trace = trace_from_busy((10, 5), (100, 7))
+        periods = EventExtractor().busy_periods(trace)
+        assert [p.busy_ns for p in periods] == [5 * MS, 7 * MS]
+
+
+class TestEpisodes:
+    def test_far_apart_periods_stay_separate(self):
+        trace = trace_from_busy((10, 5), (100, 5))
+        episodes = EventExtractor(merge_gap_ns=2 * MS).episodes(trace)
+        assert len(episodes) == 2
+
+    def test_io_span_bridges_periods(self):
+        trace = trace_from_busy((10, 5), (40, 5))
+        io_spans = [(15 * MS, 40 * MS)]  # disk wait between the bursts
+        episodes = EventExtractor(
+            merge_gap_ns=2 * MS, io_wait_spans=io_spans
+        ).episodes(trace)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert episode.start_ns == 10 * MS
+        assert episode.end_ns == 45 * MS
+        assert episode.busy_ns == 10 * MS  # CPU only
+
+    def test_io_only_episode_kept(self):
+        trace = trace_from_busy()
+        episodes = EventExtractor(
+            io_wait_spans=[(5 * MS, 9 * MS)]
+        ).episodes(trace)
+        assert len(episodes) == 1
+        assert not episodes[0].has_cpu
+
+    def test_small_gap_merges(self):
+        trace = trace_from_busy((10, 5))
+        extractor = EventExtractor(merge_gap_ns=10 * MS)
+        # Manually exercise chaining on synthetic pieces.
+        groups = extractor.episodes(trace)
+        assert len(groups) == 1
+
+
+class TestExtraction:
+    def test_event_latency_is_busy_duration(self):
+        trace = trace_from_busy((10, 6))
+        profile = EventExtractor().extract(trace).profile
+        assert len(profile) == 1
+        assert profile[0].latency_ns == 6 * MS
+
+    def test_min_event_filter(self):
+        trace = trace_from_busy((10, 2), (50, 30))
+        result = EventExtractor(min_event_ns=10 * MS).extract(trace)
+        assert len(result.profile) == 1
+        assert result.profile[0].latency_ns == 30 * MS
+
+    def test_io_bridged_event_counts_wall_time(self):
+        trace = trace_from_busy((10, 5), (40, 5))
+        result = EventExtractor(
+            io_wait_spans=[(15 * MS, 40 * MS)]
+        ).extract(trace)
+        assert len(result.profile) == 1
+        event = result.profile[0]
+        assert event.latency_ns == 35 * MS  # wall: 10 ms CPU + 25 ms disk
+        assert event.busy_ns == 10 * MS
+
+    def test_without_monitor_everything_is_an_event(self):
+        trace = trace_from_busy((10, 5), (100, 5))
+        result = EventExtractor(monitor=None).extract(trace)
+        assert len(result.profile) == 2
+        assert len(result.background) == 0

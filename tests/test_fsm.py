@@ -1,0 +1,127 @@
+"""Unit tests for the wait/think FSM (Figure 2)."""
+
+import pytest
+
+from repro.core.fsm import (
+    StateInput,
+    Transition,
+    UserState,
+    WaitThinkFSM,
+    classify_timeline,
+    spans_to_transitions,
+)
+
+MS = 1_000_000
+
+
+class TestFSM:
+    def test_initial_state_is_think(self):
+        assert WaitThinkFSM().state == UserState.THINK
+
+    def test_any_active_input_means_wait(self):
+        for which in StateInput:
+            fsm = WaitThinkFSM()
+            fsm.apply(Transition(0, which, True))
+            assert fsm.state == UserState.WAIT, which
+
+    def test_all_quiet_means_think(self):
+        fsm = WaitThinkFSM(cpu_busy=True, queue_nonempty=True, sync_io=True)
+        assert fsm.state == UserState.WAIT
+        for which in StateInput:
+            fsm.apply(Transition(0, which, False))
+        assert fsm.state == UserState.THINK
+
+    def test_overlapping_inputs(self):
+        """CPU going idle during sync I/O keeps the user waiting."""
+        fsm = WaitThinkFSM()
+        fsm.apply(Transition(0, StateInput.CPU, True))
+        fsm.apply(Transition(1, StateInput.SYNC_IO, True))
+        fsm.apply(Transition(2, StateInput.CPU, False))
+        assert fsm.state == UserState.WAIT
+        fsm.apply(Transition(3, StateInput.SYNC_IO, False))
+        assert fsm.state == UserState.THINK
+
+    def test_input_state_query(self):
+        fsm = WaitThinkFSM(cpu_busy=True)
+        assert fsm.input_state(StateInput.CPU)
+        assert not fsm.input_state(StateInput.QUEUE)
+
+
+class TestClassifyTimeline:
+    def test_simple_busy_span(self):
+        transitions = [
+            Transition(10 * MS, StateInput.CPU, True),
+            Transition(15 * MS, StateInput.CPU, False),
+        ]
+        spans, summary = classify_timeline(transitions, 0, 30 * MS)
+        assert summary.wait_ns == 5 * MS
+        assert summary.think_ns == 25 * MS
+        assert [s.state for s in spans] == [
+            UserState.THINK,
+            UserState.WAIT,
+            UserState.THINK,
+        ]
+
+    def test_full_coverage(self):
+        transitions = [
+            Transition(5 * MS, StateInput.QUEUE, True),
+            Transition(9 * MS, StateInput.QUEUE, False),
+        ]
+        _spans, summary = classify_timeline(transitions, 0, 20 * MS)
+        assert summary.total_ns == 20 * MS
+
+    def test_unnoticeable_wait_counted(self):
+        transitions = [
+            Transition(1 * MS, StateInput.CPU, True),
+            Transition(3 * MS, StateInput.CPU, False),  # 2 ms wait
+            Transition(10 * MS, StateInput.CPU, True),
+            Transition(210 * MS, StateInput.CPU, False),  # 200 ms wait
+        ]
+        _spans, summary = classify_timeline(transitions, 0, 300 * MS)
+        assert summary.wait_ns == 202 * MS
+        assert summary.unnoticeable_wait_ns == 2 * MS
+        assert summary.noticeable_wait_ns == 200 * MS
+
+    def test_transitions_outside_window_update_state(self):
+        transitions = [Transition(0, StateInput.CPU, True)]
+        _spans, summary = classify_timeline(transitions, 10 * MS, 20 * MS)
+        assert summary.wait_ns == 10 * MS
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            classify_timeline([], 10, 5)
+
+    def test_wait_fraction(self):
+        transitions = [
+            Transition(0, StateInput.CPU, True),
+            Transition(25 * MS, StateInput.CPU, False),
+        ]
+        _spans, summary = classify_timeline(transitions, 0, 100 * MS)
+        assert summary.wait_fraction == pytest.approx(0.25)
+
+    def test_adjacent_same_state_spans_merge(self):
+        transitions = [
+            Transition(10 * MS, StateInput.CPU, True),
+            Transition(12 * MS, StateInput.QUEUE, True),  # still WAIT
+            Transition(14 * MS, StateInput.CPU, False),  # still WAIT (queue)
+            Transition(20 * MS, StateInput.QUEUE, False),
+        ]
+        spans, summary = classify_timeline(transitions, 0, 30 * MS)
+        wait_spans = [s for s in spans if s.state == UserState.WAIT]
+        assert len(wait_spans) == 1
+        assert wait_spans[0].duration_ns == 10 * MS
+
+
+class TestSpansToTransitions:
+    def test_pairs(self):
+        transitions = spans_to_transitions([(5, 10), (20, 30)], StateInput.SYNC_IO)
+        assert len(transitions) == 4
+        assert transitions[0].active and not transitions[1].active
+
+    def test_empty_spans_skipped(self):
+        assert spans_to_transitions([(5, 5)], StateInput.CPU) == []
+
+    def test_integration_with_classify(self):
+        transitions = spans_to_transitions([(10 * MS, 20 * MS)], StateInput.CPU)
+        _spans, summary = classify_timeline(transitions, 0, 30 * MS)
+        assert summary.wait_ns == 10 * MS

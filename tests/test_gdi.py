@@ -1,0 +1,81 @@
+"""Unit tests for GDI batching."""
+
+import pytest
+
+from repro.sim.work import Work
+from repro.winsys.gdi import GdiBatch
+from repro.winsys.nt351 import PERSONALITY as NT351
+from repro.winsys.nt40 import PERSONALITY as NT40
+from repro.winsys.win95 import PERSONALITY as WIN95
+from repro.winsys.syscalls import GdiOp
+
+
+def op(cycles=10_000):
+    return GdiOp(base=Work(cycles, label="op"))
+
+
+class TestGdiBatch:
+    def test_empty_flush_returns_none(self):
+        batch = GdiBatch(NT40)
+        assert batch.flush() is None
+
+    def test_add_accumulates(self):
+        batch = GdiBatch(NT40)
+        assert batch.add(op()) is None
+        assert len(batch) == 1
+
+    def test_flush_at_limit(self):
+        batch = GdiBatch(NT40, batch_limit=3)
+        assert batch.add(op()) is None
+        assert batch.add(op()) is None
+        work = batch.add(op())
+        assert work is not None
+        assert batch.empty
+
+    def test_flush_cost_includes_overhead_and_ops(self):
+        batch = GdiBatch(NT40, batch_limit=10)
+        batch.add(op(10_000))
+        batch.add(op(10_000))
+        work = batch.flush()
+        expected_min = NT40.gdi_flush_cycles + 2 * 10_000 * NT40.gdi_cycle_factor
+        assert work.cycles >= expected_min * 0.99
+
+    def test_batching_amortizes_overhead(self):
+        """Per-op cost falls as batches grow (Section 1.1)."""
+        single = GdiBatch(NT40, batch_limit=100)
+        single.add(op())
+        one = single.flush().cycles
+
+        batch = GdiBatch(NT40, batch_limit=100)
+        for _ in range(10):
+            batch.add(op())
+        ten = batch.flush().cycles
+        assert ten / 10 < one
+
+    def test_statistics(self):
+        batch = GdiBatch(NT40, batch_limit=2)
+        batch.add(op())
+        batch.add(op())  # auto flush of 2
+        batch.add(op())
+        batch.flush()  # manual flush of 1
+        assert batch.flushes == 2
+        assert batch.ops_flushed == 3
+        assert batch.mean_batch_size == 1.5
+
+    def test_mean_batch_size_zero_when_unused(self):
+        assert GdiBatch(NT40).mean_batch_size == 0.0
+
+
+class TestPerOSCosts:
+    def test_nt351_flush_overhead_largest(self):
+        """The user-level Win32 server makes NT 3.51 flushes dearest."""
+        costs = {}
+        for personality in (NT351, NT40, WIN95):
+            batch = GdiBatch(personality, batch_limit=10)
+            batch.add(op(100_000))
+            costs[personality.name] = batch.flush().cycles
+        assert costs["win95"] < costs["nt40"] < costs["nt351"]
+
+    def test_win95_flush_overhead_smallest(self):
+        """No protection crossing in the Win95 GDI fast path."""
+        assert WIN95.gdi_flush_cycles < NT40.gdi_flush_cycles < NT351.gdi_flush_cycles

@@ -1,0 +1,105 @@
+"""Unit tests for the idle-loop instrument."""
+
+import pytest
+
+from repro.core.idleloop import IdleLoopInstrument
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import Compute, boot
+
+
+class TestCalibration:
+    def test_default_loop_is_one_ms(self, nt40):
+        instrument = IdleLoopInstrument(nt40)
+        assert instrument.loop_ns == ns_from_ms(1)
+        # 1 ms at 100 MHz = 100k cycles of busy-wait.
+        assert instrument.loop_work_cycles == 100_000
+
+    def test_n_scales_with_loop_time(self, nt40):
+        fine = IdleLoopInstrument(nt40, loop_ms=0.5)
+        coarse = IdleLoopInstrument(nt40, loop_ms=2.0)
+        assert coarse.n_iterations == 4 * fine.n_iterations
+
+    def test_invalid_loop_rejected(self, nt40):
+        with pytest.raises(ValueError):
+            IdleLoopInstrument(nt40, loop_ms=0)
+
+
+class TestSampling:
+    def test_one_record_per_idle_ms(self, nt40):
+        instrument = IdleLoopInstrument(nt40)
+        instrument.install()
+        nt40.run_for(ns_from_ms(100))
+        # ~100 records in 100 idle ms (clock interrupts shave a few).
+        assert 95 <= instrument.samples_collected <= 101
+
+    def test_double_install_rejected(self, nt40):
+        instrument = IdleLoopInstrument(nt40)
+        instrument.install()
+        with pytest.raises(RuntimeError):
+            instrument.install()
+
+    def test_busy_time_elongates_interval(self, nt40):
+        instrument = IdleLoopInstrument(nt40)
+        instrument.install()
+
+        def burst():
+            yield Compute(nt40.personality.app_work(500_000))  # 5 ms
+
+        nt40.run_for(ns_from_ms(20))
+        nt40.spawn("burst", burst())
+        nt40.run_for(ns_from_ms(30))
+        trace = instrument.trace()
+        elongated = trace.elongated()
+        assert len(elongated) == 1
+        _start, _end, busy = elongated[0]
+        assert busy == pytest.approx(5_000_000, rel=0.15)
+
+    def test_starved_while_busy(self, nt40):
+        """During a long event the instrument collects nothing."""
+        instrument = IdleLoopInstrument(nt40)
+        instrument.install()
+
+        def long_burst():
+            yield Compute(nt40.personality.app_work(5_000_000))  # 50 ms
+
+        nt40.run_for(ns_from_ms(10))
+        nt40.spawn("burst", long_burst())
+        before = instrument.samples_collected
+        nt40.run_for(ns_from_ms(40))
+        assert instrument.samples_collected <= before + 1
+
+    def test_reset_clears_buffer(self, nt40):
+        instrument = IdleLoopInstrument(nt40)
+        instrument.install()
+        nt40.run_for(ns_from_ms(20))
+        instrument.reset()
+        assert instrument.samples_collected == 0
+
+    def test_buffer_capacity_stops_collection(self, nt40):
+        instrument = IdleLoopInstrument(nt40, buffer_capacity=10)
+        instrument.install()
+        nt40.run_for(ns_from_ms(100))
+        assert instrument.samples_collected == 10
+
+    def test_instrument_does_not_perturb_foreground(self):
+        """The idle loop must not slow down normal work."""
+        bare = boot("nt40", seed=1)
+        done_bare = []
+        bare.spawn("w", burst_program(bare, done_bare))
+        bare.run_for(ns_from_ms(50))
+
+        instrumented = boot("nt40", seed=1)
+        IdleLoopInstrument(instrumented).install()
+        done_inst = []
+        instrumented.spawn("w", burst_program(instrumented, done_inst))
+        instrumented.run_for(ns_from_ms(50))
+        assert done_bare and done_inst
+        assert abs(done_bare[0] - done_inst[0]) < ns_from_ms(1)
+
+
+def burst_program(system, done):
+    def program():
+        yield Compute(system.personality.app_work(1_000_000))
+        done.append(system.now)
+
+    return program()

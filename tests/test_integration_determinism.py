@@ -1,0 +1,67 @@
+"""Integration tests: bit-reproducibility of whole simulations."""
+
+import random
+
+import pytest
+
+from repro.apps import NotepadApp, WordApp
+from repro.core import MeasurementSession
+from repro.workload.tasks import notepad_task, word_task
+
+
+def profile_signature(result):
+    return [
+        (event.start_ns, event.latency_ns, tuple(event.message_kinds))
+        for event in result.profile
+    ]
+
+
+class TestDeterminism:
+    def test_notepad_identical_across_processless_reruns(self):
+        def run_once():
+            rng = random.Random(21)
+            spec = notepad_task(rng, chars=80, page_downs=2, arrows=3)
+            return profile_signature(
+                MeasurementSession("nt351", NotepadApp, seed=9).run(
+                    spec.script, max_seconds=120
+                )
+            )
+
+        assert run_once() == run_once()
+
+    def test_word_typist_identical(self):
+        def run_once():
+            rng = random.Random(5)
+            spec = word_task(rng, chars=120)
+            return profile_signature(
+                MeasurementSession("nt40", WordApp, seed=1).run(
+                    spec.script, driver_kind="typist", max_seconds=600
+                )
+            )
+
+        assert run_once() == run_once()
+
+    def test_different_seed_differs(self):
+        def run_once(seed):
+            rng = random.Random(5)
+            spec = word_task(rng, chars=120)
+            return profile_signature(
+                MeasurementSession("nt40", WordApp, seed=seed).run(
+                    spec.script, driver_kind="typist", max_seconds=600
+                )
+            )
+
+        # Different machine seed -> different typist draws -> different
+        # timeline.
+        assert run_once(1) != run_once(2)
+
+    def test_simulated_time_identical(self):
+        def end_time():
+            rng = random.Random(2)
+            spec = notepad_task(rng, chars=50, page_downs=1, arrows=1)
+            result = MeasurementSession("win95", NotepadApp, seed=3).run(
+                spec.script, max_seconds=120
+            )
+            return result.end_ns
+
+        assert end_time() == end_time()

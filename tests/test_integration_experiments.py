@@ -1,0 +1,83 @@
+"""Integration tests: fast experiments end to end with shape checks.
+
+The slow task experiments (fig5/7/8/11, tables, sec54) are exercised by
+the benchmark harness; here we run the fast ones completely and assert
+every shape check passes.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+FAST_EXPERIMENTS = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig6",
+    "sec25",
+    "ablation-merge",
+    "ablation-batching",
+    "ablation-idle-n",
+    "ext-network",
+    "ext-decompose",
+]
+
+
+@pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+def test_fast_experiment_shape_checks(experiment_id):
+    result = run_experiment(experiment_id, seed=0)
+    failed = result.failed_checks()
+    assert not failed, "; ".join(str(check) for check in failed)
+
+
+def test_registry_complete():
+    # Every paper artifact has an experiment.
+    expected = {
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "table1", "table2", "sec25",
+        "sec54", "ablation-idle-n", "ablation-batching", "ablation-merge",
+        "ext-refresh", "ext-network", "ext-decompose", "sec5-repeat",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        run_experiment("fig99")
+
+
+def test_experiment_render_includes_checks():
+    result = run_experiment("fig1", seed=0)
+    text = result.render()
+    assert "shape checks:" in text
+    assert "[PASS]" in text
+
+
+def test_experiment_results_are_deterministic():
+    a = run_experiment("fig1", seed=0)
+    b = run_experiment("fig1", seed=0)
+    assert a.data == b.data
+
+
+def test_runner_cli_checks_only(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["fig1", "--checks-only"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "PASS" in out
+
+
+def test_runner_cli_list(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+
+
+def test_runner_cli_unknown_id(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["nope"]) == 2

@@ -1,0 +1,97 @@
+"""Integration tests: the full measurement pipeline end to end."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps import EchoApp, NotepadApp, WordApp
+from repro.core import (
+    EventExtractor,
+    IdleLoopInstrument,
+    MessageApiMonitor,
+    MeasurementSession,
+)
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import boot
+from repro.workload.script import InputScript, Key
+from repro.workload.tasks import notepad_task
+
+
+class TestEchoPipeline:
+    """The Figure 1 claim, as an integration invariant."""
+
+    def test_idle_loop_exceeds_timestamps_on_every_os(self):
+        for os_name in ("nt351", "nt40", "win95"):
+            system = boot(os_name)
+            app = EchoApp(system)
+            app.start(foreground=True)
+            instrument = IdleLoopInstrument(system)
+            instrument.install()
+            monitor = MessageApiMonitor(system, thread_name=app.name)
+            monitor.attach()
+            system.run_for(ns_from_ms(100))
+            for _ in range(5):
+                system.machine.keyboard.keystroke("a")
+                system.run_for(ns_from_ms(150))
+            extraction = EventExtractor(
+                monitor=monitor, merge_gap_ns=ns_from_ms(2)
+            ).extract(instrument.trace())
+            idle_mean = extraction.profile.latencies_ms.mean()
+            stamp_mean = np.mean(app.timestamp_latencies_ns) / 1e6
+            assert idle_mean > stamp_mean, os_name
+
+
+class TestNotepadPipeline:
+    def test_event_count_matches_keystrokes(self):
+        script = InputScript([Key(c, pause_ms=130.0) for c in "integration"])
+        result = MeasurementSession("nt40", NotepadApp).run(script, max_seconds=60)
+        assert len(result.profile) == len("integration")
+
+    def test_measured_latency_matches_cpu_accounting(self):
+        """Extracted busy time must equal actual CPU time spent (minus
+        the instrument's own loop and system background)."""
+        script = InputScript([Key(c, pause_ms=150.0) for c in "abcdef"])
+        result = MeasurementSession("nt40", NotepadApp).run(
+            script, queuesync=False, max_seconds=60
+        )
+        measured_busy = sum(e.busy_ns for e in result.profile)
+        # Each keystroke's busy time is ~4-6 ms on NT 4.0.
+        assert 6 * 3_000_000 < measured_busy < 6 * 9_000_000
+
+    def test_all_events_carry_input_messages(self):
+        script = InputScript([Key(c, pause_ms=150.0) for c in "xyz"])
+        result = MeasurementSession("nt40", NotepadApp).run(script, max_seconds=60)
+        for event in result.profile:
+            assert any("WM_KEY" in kind or "WM_CHAR" in kind for kind in event.message_kinds)
+
+
+class TestCrossOsInvariants:
+    def test_same_workload_same_event_count(self):
+        rng = random.Random(11)
+        spec = notepad_task(rng, chars=60, page_downs=1, arrows=2)
+        counts = {}
+        for os_name in ("nt351", "nt40", "win95"):
+            result = MeasurementSession(os_name, NotepadApp).run(
+                spec.script, max_seconds=120
+            )
+            counts[os_name] = len(result.profile)
+        assert len(set(counts.values())) == 1, counts
+
+    def test_win95_word_unmeasurable_nt_fine(self):
+        script = InputScript([Key(c, pause_ms=200.0) for c in "abc def"])
+        nt = MeasurementSession("nt40", WordApp).run(script, max_seconds=120)
+        w95 = MeasurementSession("win95", WordApp).run(script, max_seconds=240)
+        assert nt.profile.max_ms() < 300
+        assert w95.profile.max_ms() > 1500
+
+
+class TestInstrumentOverheadAccounting:
+    def test_trace_busy_excludes_idle_loop_itself(self):
+        """2 s of idle must show only background busy, not 2 s."""
+        system = boot("nt40")
+        instrument = IdleLoopInstrument(system)
+        instrument.install()
+        system.run_for(ns_from_ms(2000))
+        trace = instrument.trace()
+        assert trace.total_busy_ns() < ns_from_ms(40)  # clock ticks only

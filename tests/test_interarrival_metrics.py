@@ -1,0 +1,96 @@
+"""Unit tests for interarrival analysis and the perception metrics."""
+
+import pytest
+
+from repro.core.interarrival import interarrival_table
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.metrics import (
+    IMPERCEPTIBLE_MS,
+    IRRITATION_MS,
+    ProposedResponsivenessMetric,
+    threshold_bands,
+)
+
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def profile_of(events):
+    return LatencyProfile(
+        [
+            LatencyEvent(start_ns=start_s * SEC, latency_ns=int(latency_ms * MS), label=label)
+            for start_s, latency_ms, label in events
+        ]
+    )
+
+
+class TestInterarrival:
+    def test_counts_per_threshold(self):
+        profile = profile_of(
+            [(0, 150, ""), (10, 105, ""), (20, 95, ""), (30, 130, "")]
+        )
+        rows = interarrival_table(profile, [100, 120])
+        assert rows[0].count == 3
+        assert rows[1].count == 2
+
+    def test_mean_and_std(self):
+        # Events above threshold at t = 0, 10, 20 -> gaps of 10 s each.
+        profile = profile_of([(0, 200, ""), (10, 200, ""), (20, 200, "")])
+        row = interarrival_table(profile, [100])[0]
+        assert row.mean_interarrival_s == pytest.approx(10.0)
+        assert row.std_interarrival_s == pytest.approx(0.0)
+        assert row.periodic  # zero spread = strongly periodic
+
+    def test_aperiodic_detection(self):
+        profile = profile_of(
+            [(0, 200, ""), (1, 200, ""), (30, 200, ""), (31, 200, "")]
+        )
+        row = interarrival_table(profile, [100])[0]
+        assert not row.periodic
+
+    def test_too_few_events(self):
+        profile = profile_of([(0, 200, "")])
+        row = interarrival_table(profile, [100])[0]
+        assert row.count == 1
+        assert row.mean_interarrival_s == 0.0
+
+
+class TestThresholdBands:
+    def test_paper_constants(self):
+        assert IMPERCEPTIBLE_MS == 100.0
+        assert IRRITATION_MS == 2000.0
+
+    def test_banding(self):
+        profile = profile_of(
+            [(0, 50, ""), (1, 99, ""), (2, 500, ""), (3, 3000, "")]
+        )
+        bands = threshold_bands(profile)
+        assert bands.imperceptible == 2
+        assert bands.perceptible == 1
+        assert bands.irritating == 1
+        assert bands.total == 4
+
+
+class TestProposedMetric:
+    def test_zero_when_all_fast(self):
+        profile = profile_of([(0, 50, ""), (1, 80, "")])
+        assert ProposedResponsivenessMetric().score(profile) == 0.0
+
+    def test_linear_excess(self):
+        profile = profile_of([(0, 150, "")])
+        assert ProposedResponsivenessMetric().score(profile) == pytest.approx(50.0)
+
+    def test_per_type_thresholds(self):
+        """Users expect a print command to take longer (Section 3.1)."""
+        profile = profile_of([(0, 900, "print"), (1, 900, "keystroke")])
+        metric = ProposedResponsivenessMetric(
+            thresholds_by_label={"print": 1000.0}
+        )
+        offenders = metric.offending_events(profile)
+        assert len(offenders) == 1
+        assert offenders[0].label == "keystroke"
+
+    def test_custom_penalty(self):
+        profile = profile_of([(0, 200, "")])
+        metric = ProposedResponsivenessMetric(penalty=lambda excess: excess**2)
+        assert metric.score(profile) == pytest.approx(100.0**2)

@@ -1,0 +1,124 @@
+"""Unit tests for the I/O manager."""
+
+import pytest
+
+from repro.sim.devices.disk import Disk
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.winsys.filesystem import BufferCache, FileSystem
+from repro.winsys.iomgr import IoManager
+from repro.winsys.nt40 import PERSONALITY
+
+
+@pytest.fixture
+def io_setup(sim):
+    disk = Disk(sim, RngStreams(0))
+    cache = BufferCache(64)
+    iomgr = IoManager(disk, cache, PERSONALITY)
+    disk.set_interrupt_sink(lambda vector, request: iomgr.on_disk_complete(request))
+    fs = FileSystem(total_blocks=disk.geometry.total_blocks)
+    return sim, disk, cache, iomgr, fs
+
+
+class TestPlanning:
+    def test_cold_read_plans_requests(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 8 * 4096)
+        plan = iomgr.plan_read(file, 0, 8 * 4096)
+        assert not plan.all_cached
+        assert sum(r.count for r in plan.requests) == 8
+
+    def test_contiguous_misses_coalesce(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 8 * 4096)
+        plan = iomgr.plan_read(file, 0, 8 * 4096)
+        assert len(plan.requests) == 1  # one contiguous NTFS extent
+
+    def test_warm_read_all_cached(self, io_setup):
+        sim, _disk, cache, iomgr, fs = io_setup
+        file = fs.create("a", 4 * 4096)
+        cache.insert(file.blocks(0, 4 * 4096, 4096))
+        plan = iomgr.plan_read(file, 0, 4 * 4096)
+        assert plan.all_cached
+        assert plan.cpu_work.cycles > 0  # copies still cost CPU
+
+    def test_partial_hit(self, io_setup):
+        sim, _disk, cache, iomgr, fs = io_setup
+        file = fs.create("a", 4 * 4096)
+        blocks = file.blocks(0, 4 * 4096, 4096)
+        cache.insert(blocks[:2])
+        plan = iomgr.plan_read(file, 0, 4 * 4096)
+        assert sum(r.count for r in plan.requests) == 2
+
+    def test_write_goes_to_disk(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 4 * 4096)
+        plan = iomgr.plan_write(file, 0, 2 * 4096)
+        assert sum(r.count for r in plan.requests) == 2
+        assert all(r.is_write for r in plan.requests)
+
+    def test_write_populates_cache(self, io_setup):
+        sim, _disk, cache, iomgr, fs = io_setup
+        file = fs.create("a", 4 * 4096)
+        iomgr.plan_write(file, 0, 4 * 4096)
+        plan = iomgr.plan_read(file, 0, 4 * 4096)
+        assert plan.all_cached
+
+
+class TestSubmission:
+    def test_all_cached_completes_immediately(self, io_setup):
+        sim, _disk, cache, iomgr, fs = io_setup
+        file = fs.create("a", 4096)
+        cache.insert(file.blocks(0, 4096, 4096))
+        plan = iomgr.plan_read(file, 0, 4096)
+        done = []
+        iomgr.submit(plan, on_done=lambda: done.append(sim.now))
+        assert done == [0]
+
+    def test_completion_after_disk(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 4 * 4096)
+        plan = iomgr.plan_read(file, 0, 4 * 4096)
+        done = []
+        iomgr.submit(plan, on_done=lambda: done.append(sim.now))
+        assert done == []
+        sim.run()
+        assert len(done) == 1 and done[0] > 0
+
+    def test_disk_fill_makes_reread_cached(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 4 * 4096)
+        iomgr.submit(iomgr.plan_read(file, 0, 4 * 4096), on_done=lambda: None)
+        sim.run()
+        assert iomgr.plan_read(file, 0, 4 * 4096).all_cached
+
+    def test_outstanding_sync_tracking(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 4096)
+        observed = []
+        iomgr.add_sync_observer(observed.append)
+        iomgr.submit(iomgr.plan_read(file, 0, 4096), on_done=lambda: None, sync=True)
+        assert iomgr.outstanding_sync == 1
+        sim.run()
+        assert iomgr.outstanding_sync == 0
+        assert observed == [1, 0]
+
+    def test_async_does_not_count_as_sync(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        file = fs.create("a", 4096)
+        iomgr.submit(iomgr.plan_read(file, 0, 4096), on_done=lambda: None, sync=False)
+        assert iomgr.outstanding_sync == 0
+        assert iomgr.pending_ops == 1
+        sim.run()
+        assert iomgr.pending_ops == 0
+
+    def test_multi_request_plan_completes_once(self, io_setup):
+        sim, _disk, _cache, iomgr, fs = io_setup
+        fs_fat = FileSystem(total_blocks=100_000, kind="fat", fat_extent_blocks=2)
+        file = fs_fat.create("frag", 8 * 4096)
+        plan = iomgr.plan_read(file, 0, 8 * 4096)
+        assert len(plan.requests) > 1
+        done = []
+        iomgr.submit(plan, on_done=lambda: done.append(True))
+        sim.run()
+        assert done == [True]

@@ -1,0 +1,50 @@
+"""Unit tests for the interrupt-cost probe (Section 2.5)."""
+
+import pytest
+
+from repro.core.isrcost import InterruptCostProbe, InterruptCostReport
+from repro.winsys import boot
+
+
+class TestInterruptCostProbe:
+    def test_recovers_bare_isr_cost(self, nt40):
+        probe = InterruptCostProbe(nt40, loop_us=50.0)
+        report = probe.measure(duration_ms=500.0)
+        assert report.min_cycles == nt40.personality.clock_isr_cycles
+
+    def test_counts_interrupts(self, nt40):
+        probe = InterruptCostProbe(nt40, loop_us=50.0)
+        report = probe.measure(duration_ms=500.0)
+        assert abs(report.interrupts_observed - 50) <= 2
+
+    def test_tail_includes_housekeeping(self, nt40):
+        probe = InterruptCostProbe(nt40, loop_us=50.0)
+        report = probe.measure(duration_ms=1000.0)
+        # Every 10th tick runs the housekeeping DPC.
+        assert report.max_cycles >= nt40.personality.housekeeping_cycles
+
+    def test_double_install_rejected(self, nt40):
+        probe = InterruptCostProbe(nt40)
+        probe.install()
+        with pytest.raises(RuntimeError):
+            probe.install()
+
+    def test_win95_costlier_isr(self, win95, nt40):
+        report95 = InterruptCostProbe(win95, loop_us=50.0).measure(500.0)
+        report40 = InterruptCostProbe(nt40, loop_us=50.0).measure(500.0)
+        assert report95.min_cycles > report40.min_cycles
+
+
+class TestReport:
+    def test_empty_report(self):
+        report = InterruptCostReport()
+        assert report.min_cycles == 0
+        assert report.median_cycles == 0.0
+        assert report.max_cycles == 0
+        assert report.percentile_cycles(95) == 0.0
+
+    def test_statistics(self):
+        report = InterruptCostReport(single_interrupt_cycles=[400, 400, 2400])
+        assert report.min_cycles == 400
+        assert report.median_cycles == 400.0
+        assert report.max_cycles == 2400

@@ -1,0 +1,138 @@
+"""Unit tests for preemption, priorities, quanta and DPCs."""
+
+import pytest
+
+from repro.sim.timebase import ns_from_ms
+from repro.sim.work import Work
+from repro.winsys import Compute, GetMessage, Message, WM, boot
+from repro.winsys.threads import IDLE_PRIORITY, NORMAL_PRIORITY
+
+
+class TestPriorityPreemption:
+    def test_high_priority_wakeup_preempts_low(self, nt40):
+        timeline = []
+
+        def low():
+            yield Compute(nt40.personality.app_work(2_000_000))  # 20 ms
+            timeline.append(("low-done", nt40.now))
+
+        def high():
+            message = yield GetMessage()
+            timeline.append(("high-got", nt40.now))
+
+        nt40.spawn("low", low(), priority=NORMAL_PRIORITY)
+        high_thread = nt40.spawn("high", high(), priority=NORMAL_PRIORITY + 4)
+        nt40.run_for(ns_from_ms(5))
+        nt40.kernel.post_message(high_thread, Message(WM.USER))
+        nt40.run_for(ns_from_ms(50))
+        # High ran promptly, before the low thread finished.
+        assert timeline[0][0] == "high-got"
+        assert timeline[0][1] < ns_from_ms(7)
+        assert timeline[1][0] == "low-done"
+        # Low still completed with its full compute (plus the preemption).
+        assert timeline[1][1] >= ns_from_ms(20)
+
+    def test_idle_thread_runs_only_when_nothing_else(self, nt40):
+        order = []
+
+        def idle():
+            while True:
+                yield Compute(nt40.personality.app_work(100_000))
+                order.append("idle")
+
+        def busy():
+            yield Compute(nt40.personality.app_work(500_000))
+            order.append("busy")
+
+        nt40.spawn("idle", idle(), priority=IDLE_PRIORITY)
+        nt40.spawn("busy", busy(), priority=NORMAL_PRIORITY)
+        nt40.run_for(ns_from_ms(10))
+        assert order[0] == "busy"
+        assert "idle" in order
+
+    def test_equal_priority_no_preemption_midwork(self, nt40):
+        order = []
+
+        def worker(tag, cycles):
+            yield Compute(nt40.personality.app_work(cycles))
+            order.append(tag)
+
+        nt40.spawn("first", worker("first", 500_000))
+        nt40.spawn("second", worker("second", 100_000))
+        nt40.run_for(ns_from_ms(3))
+        # 'first' runs 5 ms within its quantum; 'second' waits despite
+        # being shorter.
+        assert order == []
+        nt40.run_for(ns_from_ms(20))
+        assert order == ["first", "second"]
+
+
+class TestQuantum:
+    def test_long_running_equal_threads_share_cpu(self, nt40):
+        progress = {"a": 0, "b": 0}
+
+        def worker(tag):
+            for _ in range(20):
+                yield Compute(nt40.personality.app_work(1_000_000))  # 10 ms
+                progress[tag] += 1
+
+        nt40.spawn("a", worker("a"))
+        nt40.spawn("b", worker("b"))
+        nt40.run_for(ns_from_ms(120))
+        # Both made progress: the quantum rotates them.
+        assert progress["a"] >= 2
+        assert progress["b"] >= 2
+
+    def test_context_switches_counted(self, nt40):
+        def worker():
+            yield Compute(nt40.personality.app_work(5_000_000))
+
+        nt40.spawn("a", worker())
+        nt40.spawn("b", worker())
+        nt40.run_for(ns_from_ms(150))
+        assert nt40.kernel.context_switches >= 1
+
+
+class TestDpcs:
+    def test_dpc_runs_ahead_of_threads(self, nt40):
+        order = []
+
+        def worker():
+            yield Compute(nt40.personality.app_work(3_000_000))
+            order.append("thread")
+
+        nt40.spawn("worker", worker())
+        nt40.run_for(ns_from_ms(1))
+        nt40.kernel.queue_dpc(
+            Work(100_000, label="dpc"), action=lambda: order.append("dpc")
+        )
+        nt40.run_for(ns_from_ms(60))
+        assert order == ["dpc", "thread"]
+
+    def test_dpc_action_runs_after_work(self, nt40):
+        stamps = []
+        nt40.kernel.queue_dpc(
+            Work(100_000), action=lambda: stamps.append(nt40.now)
+        )
+        nt40.run_for(ns_from_ms(5))
+        assert stamps and stamps[0] >= 1_000_000
+
+    def test_dpcs_fifo(self, nt40):
+        order = []
+        nt40.kernel.queue_dpc(Work(1000), action=lambda: order.append(1))
+        nt40.kernel.queue_dpc(Work(1000), action=lambda: order.append(2))
+        nt40.run_for(ns_from_ms(5))
+        assert order == [1, 2]
+
+    def test_dpc_steals_from_thread_time(self, nt40):
+        done = []
+
+        def worker():
+            yield Compute(nt40.personality.app_work(1_000_000))  # 10 ms
+            done.append(nt40.now)
+
+        nt40.spawn("worker", worker())
+        nt40.run_for(ns_from_ms(2))
+        nt40.kernel.queue_dpc(Work(500_000))  # 5 ms of system work
+        nt40.run_for(ns_from_ms(60))
+        assert done and done[0] >= ns_from_ms(15)

@@ -1,0 +1,80 @@
+"""Unit tests for LatencyEvent and LatencyProfile."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LatencyEvent, LatencyProfile
+
+MS = 1_000_000
+
+
+def event(start_ms, latency_ms, label=""):
+    return LatencyEvent(
+        start_ns=start_ms * MS, latency_ns=int(latency_ms * MS), label=label
+    )
+
+
+class TestLatencyEvent:
+    def test_derived_fields(self):
+        e = event(100, 25)
+        assert e.end_ns == 125 * MS
+        assert e.latency_ms == 25.0
+
+    def test_repr_includes_label(self):
+        assert "save" in repr(event(0, 1, label="save"))
+
+
+class TestLatencyProfile:
+    def test_sorted_by_start(self):
+        profile = LatencyProfile([event(50, 1), event(10, 2)])
+        assert profile[0].start_ns == 10 * MS
+
+    def test_totals_and_stats(self):
+        profile = LatencyProfile([event(0, 10), event(100, 30)])
+        assert profile.total_latency_ns == 40 * MS
+        assert profile.mean_ms() == 20.0
+        assert profile.median_ms() == 20.0
+        assert profile.max_ms() == 30.0
+        assert profile.std_ms() == 10.0
+
+    def test_empty_profile_stats(self):
+        profile = LatencyProfile([])
+        assert profile.mean_ms() == 0.0
+        assert profile.total_latency_ns == 0
+        assert len(profile) == 0
+
+    def test_above_strict(self):
+        profile = LatencyProfile([event(0, 100), event(1, 100.1), event(2, 150)])
+        assert len(profile.above(100.0)) == 2
+
+    def test_below_inclusive(self):
+        profile = LatencyProfile([event(0, 100), event(1, 150)])
+        assert len(profile.below(100.0)) == 1
+
+    def test_fraction_of_latency_below(self):
+        """The Figure 7 statistic."""
+        events = [event(i, 5) for i in range(80)] + [event(100 + i, 40) for i in range(5)]
+        profile = LatencyProfile(events)
+        fraction = profile.fraction_of_latency_below(10.0)
+        assert fraction == pytest.approx(400 / 600)
+
+    def test_fraction_empty(self):
+        assert LatencyProfile([]).fraction_of_latency_below(10) == 0.0
+
+    def test_labelled(self):
+        profile = LatencyProfile([event(0, 1, "a"), event(1, 2, "b"), event(2, 3, "a")])
+        assert len(profile.labelled("a")) == 2
+
+    def test_filter(self):
+        profile = LatencyProfile([event(0, 1), event(1, 100)])
+        assert len(profile.filter(lambda e: e.latency_ms > 50)) == 1
+
+    def test_merged_with(self):
+        a = LatencyProfile([event(0, 1)])
+        b = LatencyProfile([event(1, 2)])
+        assert len(a.merged_with(b)) == 2
+
+    def test_arrays(self):
+        profile = LatencyProfile([event(0, 1), event(5, 2)])
+        assert list(profile.start_times_ns) == [0, 5 * MS]
+        assert np.allclose(profile.latencies_ms, [1.0, 2.0])

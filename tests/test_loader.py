@@ -1,0 +1,80 @@
+"""Unit tests for program images and loading."""
+
+import pytest
+
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import boot
+from repro.winsys.loader import ProgramImage, load_image
+
+
+class TestProgramImage:
+    def test_create_allocates_file(self, nt40):
+        image = ProgramImage.create(nt40.filesystem, "app", 1024 * 1024, 1000)
+        assert image.file.size_bytes == 1024 * 1024
+        assert nt40.filesystem.exists("image:app")
+
+    def test_create_idempotent_file(self, nt40):
+        a = ProgramImage.create(nt40.filesystem, "app", 1024 * 1024, 1000)
+        b = ProgramImage.create(nt40.filesystem, "app", 1024 * 1024, 2000)
+        assert a.file is b.file
+
+
+class TestLoadImage:
+    def _load(self, system, image, **kwargs):
+        done = []
+
+        def program():
+            yield from load_image(system.personality, image, **kwargs)
+            done.append(system.now)
+
+        system.spawn("loader", program())
+        system.run_until_quiescent(max_ns=system.now + 60 * 10**9)
+        return done
+
+    def test_cold_load_takes_disk_time(self, nt40):
+        image = ProgramImage.create(
+            nt40.filesystem, "app", 2 * 1024 * 1024, init_gui_cycles=1_000_000
+        )
+        done = self._load(nt40, image)
+        assert done and done[0] > ns_from_ms(100)
+
+    def test_warm_load_much_faster(self, nt40):
+        image = ProgramImage.create(
+            nt40.filesystem, "app", 2 * 1024 * 1024, init_gui_cycles=1_000_000
+        )
+        cold_done = self._load(nt40, image)[0]
+        start = nt40.now
+        warm_done = self._load(nt40, image)[0] - start
+        assert warm_done < (cold_done) / 3
+
+    def test_read_fraction_validation(self, nt40):
+        image = ProgramImage.create(nt40.filesystem, "app", 1024, 0)
+        with pytest.raises(ValueError):
+            list(load_image(nt40.personality, image, read_fraction=0.0))
+        with pytest.raises(ValueError):
+            list(load_image(nt40.personality, image, read_fraction=1.5))
+
+    def test_partial_working_set_reads_less(self, nt40):
+        image = ProgramImage.create(nt40.filesystem, "app", 4 * 1024 * 1024, 0)
+        blocks_before = nt40.machine.disk.blocks_transferred
+        self._load(nt40, image, read_fraction=0.5)
+        read = nt40.machine.disk.blocks_transferred - blocks_before
+        assert read == pytest.approx(512, rel=0.05)  # half of 1024 blocks
+
+    def test_init_gui_cost_differs_by_os(self, nt351, nt40):
+        def load_time(system):
+            image = ProgramImage.create(
+                system.filesystem, "app", 64 * 1024, init_gui_cycles=50_000_000
+            )
+            done = []
+
+            def program():
+                yield from load_image(system.personality, image)
+                done.append(system.now)
+
+            start = system.now
+            system.spawn("loader", program())
+            system.run_until_quiescent(max_ns=system.now + 60 * 10**9)
+            return done[0] - start
+
+        assert load_time(nt351) > load_time(nt40)

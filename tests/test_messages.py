@@ -1,0 +1,75 @@
+"""Unit tests for window messages and queues."""
+
+from repro.winsys.messages import WM, Message, MessageQueue
+
+
+class TestMessageQueue:
+    def test_fifo(self):
+        queue = MessageQueue()
+        queue.post(Message(WM.KEYDOWN), 10)
+        queue.post(Message(WM.CHAR), 20)
+        assert queue.get(30).kind == WM.KEYDOWN
+        assert queue.get(30).kind == WM.CHAR
+        assert queue.get(30) is None
+
+    def test_timestamps(self):
+        queue = MessageQueue()
+        message = Message(WM.CHAR)
+        queue.post(message, 100)
+        retrieved = queue.get(250)
+        assert retrieved.posted_ns == 100
+        assert retrieved.retrieved_ns == 250
+        assert retrieved.queue_delay_ns == 150
+
+    def test_queue_delay_none_until_retrieved(self):
+        message = Message(WM.CHAR)
+        assert message.queue_delay_ns is None
+
+    def test_peek_does_not_remove(self):
+        queue = MessageQueue()
+        queue.post(Message(WM.CHAR, payload="a"), 0)
+        assert queue.peek().payload == "a"
+        assert len(queue) == 1
+
+    def test_post_callback_fires(self):
+        queue = MessageQueue()
+        seen = []
+        queue.add_post_callback(seen.append)
+        message = Message(WM.TIMER)
+        queue.post(message, 0)
+        assert seen == [message]
+
+    def test_observer_sees_transitions(self):
+        queue = MessageQueue()
+        log = []
+        queue.add_observer(lambda action, msg, n: log.append((action, n)))
+        queue.post(Message(WM.CHAR), 0)
+        queue.post(Message(WM.CHAR), 0)
+        queue.get(1)
+        assert log == [("post", 1), ("post", 2), ("get", 1)]
+
+    def test_counters(self):
+        queue = MessageQueue()
+        queue.post(Message(WM.CHAR), 0)
+        queue.get(0)
+        assert queue.posted_count == 1
+        assert queue.retrieved_count == 1
+
+    def test_snapshot_kinds(self):
+        queue = MessageQueue()
+        queue.post(Message(WM.KEYDOWN), 0)
+        queue.post(Message(WM.QUEUESYNC), 0)
+        assert queue.snapshot_kinds() == [WM.KEYDOWN, WM.QUEUESYNC]
+
+    def test_empty_property(self):
+        queue = MessageQueue()
+        assert queue.empty
+        queue.post(Message(WM.CHAR), 0)
+        assert not queue.empty
+
+
+class TestWM:
+    def test_paper_message_vocabulary(self):
+        values = {wm.value for wm in WM}
+        assert "WM_QUEUESYNC" in values  # the MS Test artifact
+        assert {"WM_KEYDOWN", "WM_CHAR", "WM_PAINT", "WM_TIMER"} <= values

@@ -1,0 +1,109 @@
+"""Unit tests for the message-API monitor (live against the kernel)."""
+
+import pytest
+
+from repro.apps import NotepadApp
+from repro.core.msgmon import MessageApiMonitor
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import WM, boot
+
+
+@pytest.fixture
+def monitored(nt40):
+    app = NotepadApp(nt40)
+    app.start(foreground=True)
+    monitor = MessageApiMonitor(nt40, thread_name=app.name)
+    monitor.attach()
+    nt40.run_for(ns_from_ms(5))
+    return nt40, app, monitor
+
+
+class TestAttachment:
+    def test_double_attach_rejected(self, monitored):
+        _system, _app, monitor = monitored
+        with pytest.raises(RuntimeError):
+            monitor.attach()
+
+    def test_detach_stops_recording(self, monitored):
+        system, _app, monitor = monitored
+        monitor.detach()
+        count = len(monitor)
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(30))
+        assert len(monitor) == count
+
+    def test_thread_filter(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        monitor = MessageApiMonitor(nt40, thread_name="someone-else")
+        monitor.attach()
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("a")
+        nt40.run_for(ns_from_ms(30))
+        assert len(monitor) == 0
+
+
+class TestRecording:
+    def test_keystroke_retrievals_logged(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(50))
+        kinds = [
+            record.message.kind
+            for record in monitor.records
+            if record.message is not None
+        ]
+        assert WM.KEYDOWN in kinds and WM.CHAR in kinds and WM.KEYUP in kinds
+
+    def test_call_records_precede_returns(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(50))
+        assert any(record.message is None for record in monitor.records)
+
+    def test_records_between(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(50))
+        t0 = monitor.records[0].time_ns
+        t1 = monitor.records[-1].time_ns + 1
+        assert monitor.records_between(t0, t1) == monitor.records
+        assert monitor.records_between(t1, t1 + 100) == []
+
+    def test_input_retrievals(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.post_queuesync()
+        system.run_for(ns_from_ms(50))
+        inputs = monitor.input_retrievals()
+        assert all(record.message.from_input for record in inputs)
+        assert len(inputs) == 3  # down/char/up, not queuesync
+
+    def test_queuesync_spans(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(30))
+        system.post_queuesync()
+        system.run_for(ns_from_ms(30))
+        spans = monitor.queuesync_spans(0, system.now)
+        assert len(spans) == 1
+        record, duration = spans[0]
+        assert record.message.kind == WM.QUEUESYNC
+        # NT 4.0 queuesync work is 60k cycles = 0.6 ms.
+        assert 0.4e6 < duration < 2.0e6
+
+    def test_next_call_after(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(50))
+        first = monitor.records[0]
+        following = monitor.next_call_after(first.time_ns)
+        assert following is not None
+        assert following.time_ns >= first.time_ns
+
+    def test_clear(self, monitored):
+        system, _app, monitor = monitored
+        system.machine.keyboard.keystroke("a")
+        system.run_for(ns_from_ms(30))
+        monitor.clear()
+        assert len(monitor) == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the NIC, packet source, and terminal app."""
+
+import pytest
+
+from repro.apps import TerminalApp
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import GetMessage, WM, boot
+from repro.workload.network import PacketSource
+
+
+class TestNic:
+    def test_deliver_raises_interrupt(self, nt40):
+        delivered_before = nt40.machine.interrupts.delivered.get("nic", 0)
+        nt40.machine.nic.deliver("hello", size_bytes=100)
+        assert nt40.machine.interrupts.delivered["nic"] == delivered_before + 1
+        assert nt40.machine.nic.packets_received == 1
+        assert nt40.machine.nic.bytes_received == 100
+
+    def test_size_validation(self, nt40):
+        with pytest.raises(ValueError):
+            nt40.machine.nic.deliver("x", size_bytes=0)
+
+    def test_packet_becomes_wm_socket(self, nt40):
+        got = []
+
+        def program():
+            while True:
+                message = yield GetMessage()
+                got.append((message.kind, message.payload))
+
+        thread = nt40.spawn("app", program(), foreground=True)
+        nt40.bind_socket(thread)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.nic.deliver("data", size_bytes=64)
+        nt40.run_for(ns_from_ms(20))
+        assert got and got[0][0] == WM.SOCKET
+        assert got[0][1].payload == "data"
+
+    def test_socket_message_is_input_class(self, nt40):
+        """Packet arrivals are events in the paper's sense."""
+        got = []
+
+        def program():
+            while True:
+                message = yield GetMessage()
+                got.append(message)
+
+        thread = nt40.spawn("app", program(), foreground=True)
+        nt40.bind_socket(thread)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.nic.deliver("data")
+        nt40.run_for(ns_from_ms(20))
+        assert got[0].from_input
+
+    def test_defaults_to_foreground_without_binding(self, nt40):
+        got = []
+
+        def program():
+            while True:
+                message = yield GetMessage()
+                got.append(message.kind)
+
+        nt40.spawn("app", program(), foreground=True)
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.nic.deliver("data")
+        nt40.run_for(ns_from_ms(20))
+        assert WM.SOCKET in got
+
+
+class TestPacketSource:
+    def test_burst_delivers_count(self, nt40):
+        app = TerminalApp(nt40)
+        app.start()
+        nt40.run_for(ns_from_ms(5))
+        source = PacketSource(nt40, mean_interarrival_ms=20.0)
+        source.send_burst(10)
+        source.run_to_completion()
+        assert source.packets_sent == 10
+        assert app.lines_received == 10
+
+    def test_deterministic(self):
+        def run_once():
+            system = boot("nt40", seed=4)
+            app = TerminalApp(system)
+            app.start()
+            system.run_for(ns_from_ms(5))
+            source = PacketSource(system, mean_interarrival_ms=30.0)
+            source.send_burst(8)
+            source.run_to_completion()
+            return system.now
+
+        assert run_once() == run_once()
+
+    def test_validation(self, nt40):
+        with pytest.raises(ValueError):
+            PacketSource(nt40, mean_interarrival_ms=0)
+        with pytest.raises(ValueError):
+            PacketSource(nt40).send_burst(0)
+
+
+class TestTerminalApp:
+    def test_scroll_every_screenful(self, nt40):
+        app = TerminalApp(nt40)
+        app.start()
+        nt40.run_for(ns_from_ms(5))
+        for _ in range(app.SCREEN_LINES * 2):
+            nt40.machine.nic.deliver("line", size_bytes=80)
+            nt40.run_until_quiescent(max_ns=nt40.now + 10**9)
+        assert app.scrolls == 2
+
+    def test_parse_cost_scales_with_size(self, nt40):
+        app = TerminalApp(nt40)
+        app.start()
+        nt40.run_for(ns_from_ms(5))
+
+        def busy_for(size):
+            before = nt40.machine.cpu.busy_ns
+            nt40.machine.nic.deliver("x", size_bytes=size)
+            nt40.run_until_quiescent(max_ns=nt40.now + 10**9)
+            return nt40.machine.cpu.busy_ns - before
+
+        small = busy_for(64)
+        large = busy_for(1024)
+        # Parsing costs PARSE_PER_BYTE cycles/byte: 960 extra bytes at
+        # 120 cycles each is ~1.15 ms of extra busy time.
+        assert large - small > ns_from_ms(0.8)

@@ -1,0 +1,88 @@
+"""Unit tests for the Pentium-style performance counters."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.perf import CounterAccessError, PerfCounters
+from repro.sim.work import HwEvent
+
+
+@pytest.fixture
+def perf(sim):
+    return PerfCounters(sim)
+
+
+class TestCycleCounter:
+    def test_free_runs_with_time(self, sim, perf):
+        assert perf.read_cycle_counter() == 0
+        sim.schedule(1_000, lambda: None)  # 1 us
+        sim.run()
+        assert perf.read_cycle_counter() == 100  # 100 cycles at 100 MHz
+
+    def test_user_mode_readable(self, sim, perf):
+        # RDTSC needs no privilege; simply no exception path exists.
+        assert perf.read_cycle_counter() == 0
+
+
+class TestEventCounters:
+    def test_charge_and_read(self, perf):
+        perf.configure(HwEvent.ITLB_MISS, HwEvent.SEGMENT_LOADS)
+        perf.charge(HwEvent.ITLB_MISS, 5)
+        perf.charge(HwEvent.SEGMENT_LOADS, 7)
+        assert perf.read_event_counter(0) == 5
+        assert perf.read_event_counter(1) == 7
+
+    def test_unconfigured_counter_reads_zero(self, perf):
+        perf.charge(HwEvent.ITLB_MISS, 5)
+        assert perf.read_event_counter(0) == 0
+
+    def test_only_two_counters(self, perf):
+        with pytest.raises(ValueError):
+            perf.read_event_counter(2)
+
+    def test_system_mode_required_for_configure(self, perf):
+        with pytest.raises(CounterAccessError):
+            perf.configure(HwEvent.ITLB_MISS, system_mode=False)
+
+    def test_system_mode_required_for_read(self, perf):
+        with pytest.raises(CounterAccessError):
+            perf.read_event_counter(0, system_mode=False)
+
+    def test_40_bit_wrap(self, perf):
+        perf.configure(HwEvent.DTLB_MISS)
+        perf.charge(HwEvent.DTLB_MISS, (1 << 40) + 3)
+        assert perf.read_event_counter(0) == 3
+
+    def test_reconfigure_keeps_internal_tally(self, perf):
+        perf.charge(HwEvent.ITLB_MISS, 9)
+        perf.configure(HwEvent.ITLB_MISS)
+        assert perf.read_event_counter(0) == 9
+
+
+class TestFractionalCharging:
+    def test_residual_accumulates(self, perf):
+        for _ in range(10):
+            perf.charge(HwEvent.UNALIGNED_ACCESS, 0.25)
+        assert perf.total(HwEvent.UNALIGNED_ACCESS) == 2
+
+    def test_charge_events_with_fraction(self, perf):
+        perf.charge_events({HwEvent.ITLB_MISS: 100}, fraction=0.5)
+        assert perf.total(HwEvent.ITLB_MISS) == 50
+
+    def test_exact_total_over_many_fractions(self, perf):
+        # 1000 charges of 1/3 each must sum to ~333, not drift to 0.
+        for _ in range(1000):
+            perf.charge(HwEvent.DATA_REFS, 1 / 3)
+        assert perf.total(HwEvent.DATA_REFS) in (333, 334)
+
+
+class TestSnapshot:
+    def test_snapshot_includes_cycles(self, sim, perf):
+        snap = perf.snapshot()
+        assert snap.cycles == 0
+        assert HwEvent.ITLB_MISS in snap
+
+    def test_snapshot_is_copy(self, perf):
+        snap = perf.snapshot()
+        perf.charge(HwEvent.ITLB_MISS, 5)
+        assert snap[HwEvent.ITLB_MISS] == 0

@@ -1,0 +1,103 @@
+"""Unit tests for OS personalities and their paper-derived structure."""
+
+import pytest
+
+from repro.sim.work import HwEvent
+from repro.winsys import PERSONALITIES
+from repro.winsys.nt351 import PERSONALITY as NT351
+from repro.winsys.nt40 import PERSONALITY as NT40
+from repro.winsys.personality import (
+    DATA_REFS_PER_CYCLE,
+    INSTRUCTIONS_PER_CYCLE,
+    annotate_proportional,
+)
+from repro.winsys.win95 import PERSONALITY as WIN95
+
+
+class TestAnnotation:
+    def test_instructions_proportional(self):
+        work = annotate_proportional(10_000, {})
+        assert work.count(HwEvent.INSTRUCTIONS) == round(
+            10_000 * INSTRUCTIONS_PER_CYCLE
+        )
+        assert work.count(HwEvent.DATA_REFS) == round(10_000 * DATA_REFS_PER_CYCLE)
+
+    def test_per_kcycle_rates(self):
+        work = annotate_proportional(50_000, {HwEvent.ITLB_MISS: 2.0})
+        assert work.count(HwEvent.ITLB_MISS) == 100
+
+    def test_tiny_counts_round_away(self):
+        work = annotate_proportional(100, {HwEvent.ITLB_MISS: 1.0})
+        assert work.count(HwEvent.ITLB_MISS) == 0
+
+
+class TestWorkConstructors:
+    def test_app_work_identical_across_oses(self):
+        """Pure computation is OS-independent (SPEC-style code)."""
+        works = [p.app_work(1_000_000) for p in PERSONALITIES.values()]
+        assert len({w.cycles for w in works}) == 1
+
+    def test_gui_work_scales_by_factor(self):
+        base = 1_000_000
+        assert NT351.gui_work(base).cycles == round(base * 1.75)
+        assert NT40.gui_work(base).cycles == base
+        assert WIN95.gui_work(base).cycles == round(base * 1.45)
+
+    def test_user_work_order(self):
+        """16-bit USER slowest; NT 4.0 fastest."""
+        costs = {name: p.user_work(100_000).cycles for name, p in PERSONALITIES.items()}
+        assert costs["nt40"] < costs["nt351"] < costs["win95"]
+
+    def test_gui_work_carries_tlb_annotations(self):
+        work = NT351.gui_work(1_000_000)
+        per_kcycle = (
+            work.count(HwEvent.ITLB_MISS) + work.count(HwEvent.DTLB_MISS)
+        ) / (work.cycles / 1000)
+        assert per_kcycle == pytest.approx(7.9, rel=0.05)
+
+    def test_win95_gui_work_segment_heavy(self):
+        work = WIN95.gui_work(1_000_000)
+        assert work.count(HwEvent.SEGMENT_LOADS) > 10 * NT40.gui_work(
+            1_000_000
+        ).count(HwEvent.SEGMENT_LOADS)
+
+
+class TestPaperDerivedKnobs:
+    def test_three_personalities(self):
+        assert set(PERSONALITIES) == {"nt351", "nt40", "win95"}
+
+    def test_nt40_clock_isr_400_cycles(self):
+        assert NT40.clock_isr_cycles == 400  # Section 2.5
+
+    def test_nt351_crossing_costs_highest(self):
+        assert NT351.user_call_cycles > NT40.user_call_cycles
+        assert NT351.gdi_flush_cycles > NT40.gdi_flush_cycles
+
+    def test_win95_busywait_flag(self):
+        assert WIN95.mouse_click_busywait
+        assert not NT40.mouse_click_busywait
+        assert not NT351.mouse_click_busywait
+
+    def test_win95_queuesync_much_slower(self):
+        assert WIN95.queuesync_cycles > 10 * NT40.queuesync_cycles
+
+    def test_win95_idle_background(self):
+        assert WIN95.idle_background_period_ns > 0
+        assert NT40.idle_background_period_ns == 0
+
+    def test_win95_breaks_word_idle_detection(self):
+        assert not WIN95.app_idle_detection_reliable
+        assert NT40.app_idle_detection_reliable
+
+    def test_nt40_save_factor_inversion(self):
+        assert NT40.save_write_factor > NT351.save_write_factor
+
+    def test_filesystem_kinds(self):
+        assert NT351.filesystem_kind == "ntfs"
+        assert NT40.filesystem_kind == "ntfs"
+        assert WIN95.filesystem_kind == "fat"
+
+    def test_gui_generations(self):
+        # NT 4.0 adopted the Win95-style GUI; NT 3.51 kept the classic.
+        assert NT351.gui_generation == "classic"
+        assert NT40.gui_generation == WIN95.gui_generation == "new"

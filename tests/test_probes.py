@@ -1,0 +1,89 @@
+"""Unit tests for the system-state probes."""
+
+import pytest
+
+from repro.apps import NotepadApp
+from repro.core.probes import QueueProbe, SyncIoProbe, coverage_fraction, spans_overlap_ns
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import SyncRead, boot
+
+
+class TestSpanMath:
+    def test_overlap_basic(self):
+        spans = [(10, 20), (30, 40)]
+        assert spans_overlap_ns(spans, 0, 50) == 20
+        assert spans_overlap_ns(spans, 15, 35) == 10
+        assert spans_overlap_ns(spans, 20, 30) == 0
+
+    def test_overlap_empty_window(self):
+        assert spans_overlap_ns([(0, 10)], 5, 5) == 0
+
+    def test_coverage_fraction(self):
+        assert coverage_fraction([(0, 50)], 0, 100) == pytest.approx(0.5)
+        assert coverage_fraction([], 0, 100) == 0.0
+        assert coverage_fraction([(0, 10)], 3, 3) == 0.0
+
+
+class TestSyncIoProbe:
+    def test_records_busy_spans(self, nt40):
+        probe = SyncIoProbe(nt40)
+        probe.attach()
+        file = nt40.filesystem.create("f", 64 * 4096)
+
+        def program():
+            yield SyncRead(file, 0, 64 * 4096)
+
+        nt40.spawn("reader", program())
+        nt40.run_until_quiescent(max_ns=nt40.now + 10 * 10**9)
+        spans = probe.busy_spans()
+        assert len(spans) == 1
+        start, end = spans[0]
+        assert end - start > ns_from_ms(10)
+
+    def test_no_io_no_spans(self, nt40):
+        probe = SyncIoProbe(nt40)
+        probe.attach()
+        nt40.run_for(ns_from_ms(50))
+        assert probe.busy_spans() == []
+
+    def test_open_span_closed_at_query(self, nt40):
+        probe = SyncIoProbe(nt40)
+        probe.attach()
+        file = nt40.filesystem.create("f", 256 * 4096)
+
+        def program():
+            yield SyncRead(file, 0, 256 * 4096)
+
+        nt40.spawn("reader", program())
+        nt40.run_for(ns_from_ms(10))  # still in flight
+        spans = probe.busy_spans()
+        assert len(spans) == 1
+        assert spans[0][1] == nt40.now
+
+    def test_double_attach_rejected(self, nt40):
+        probe = SyncIoProbe(nt40)
+        probe.attach()
+        with pytest.raises(RuntimeError):
+            probe.attach()
+
+
+class TestQueueProbe:
+    def test_records_nonempty_spans(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        probe = QueueProbe(nt40, app.thread)
+        probe.attach()
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("a")
+        nt40.run_for(ns_from_ms(100))
+        spans = probe.nonempty_spans()
+        assert len(spans) >= 1
+        assert all(end > start for start, end in spans)
+
+    def test_quiet_queue_no_spans(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        probe = QueueProbe(nt40, app.thread)
+        probe.attach()
+        nt40.run_for(ns_from_ms(50))
+        assert probe.nonempty_spans() == []

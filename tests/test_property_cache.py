@@ -1,0 +1,97 @@
+"""Property-based tests for the buffer cache and file system."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winsys.filesystem import BufferCache, FileSystem
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=64),
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "probe"]),
+            st.lists(st.integers(min_value=0, max_value=200), max_size=20),
+        ),
+        max_size=40,
+    ),
+)
+@settings(max_examples=100)
+def test_cache_never_exceeds_capacity(capacity, operations):
+    cache = BufferCache(capacity)
+    for action, blocks in operations:
+        if action == "insert":
+            cache.insert(blocks)
+        else:
+            cache.probe(blocks)
+        assert len(cache) <= capacity
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=64),
+    blocks=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+)
+@settings(max_examples=100)
+def test_recently_inserted_blocks_present(capacity, blocks):
+    """The last min(capacity, distinct) inserted blocks must be cached."""
+    cache = BufferCache(capacity)
+    cache.insert(blocks)
+    recent = []
+    for block in reversed(blocks):
+        if block not in recent:
+            recent.append(block)
+        if len(recent) == capacity:
+            break
+    for block in recent:
+        assert block in cache
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    probes=st.lists(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=10), max_size=20
+    ),
+)
+@settings(max_examples=100)
+def test_hits_plus_misses_equals_probes(capacity, probes):
+    cache = BufferCache(capacity)
+    total = 0
+    for blocks in probes:
+        hits, misses = cache.probe(blocks)
+        assert len(hits) + len(misses) == len(blocks)
+        cache.insert(misses)
+        total += len(blocks)
+    assert cache.hits + cache.misses == total
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20),
+    kind=st.sampled_from(["ntfs", "fat"]),
+)
+@settings(max_examples=100)
+def test_filesystem_files_never_overlap(sizes, kind):
+    fs = FileSystem(total_blocks=500_000, kind=kind)
+    seen = set()
+    for index, size_blocks in enumerate(sizes):
+        file = fs.create(f"f{index}", size_blocks * 4096)
+        blocks = set(file.blocks(0, file.size_bytes, 4096))
+        assert len(blocks) == size_blocks
+        assert not blocks & seen
+        seen |= blocks
+
+
+@given(
+    size_blocks=st.integers(min_value=1, max_value=64),
+    kind=st.sampled_from(["ntfs", "fat"]),
+    data=st.data(),
+)
+@settings(max_examples=100)
+def test_block_lookup_consistent_with_full_read(size_blocks, kind, data):
+    fs = FileSystem(total_blocks=100_000, kind=kind)
+    file = fs.create("f", size_blocks * 4096)
+    full = file.blocks(0, file.size_bytes, 4096)
+    offset = data.draw(st.integers(min_value=0, max_value=file.size_bytes - 1))
+    length = data.draw(st.integers(min_value=1, max_value=file.size_bytes - offset))
+    partial = file.blocks(offset, length, 4096)
+    first = offset // 4096
+    assert partial == full[first : first + len(partial)]

@@ -1,0 +1,74 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50))
+@settings(max_examples=100)
+def test_events_always_execute_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    executed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+)
+@settings(max_examples=100)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    handles = []
+    for index, delay in enumerate(delays):
+        handles.append(sim.schedule(delay, lambda i=index: fired.append(i)))
+    cancelled = set()
+    for index, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+        if cancel:
+            handle.cancel()
+            cancelled.add(index)
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30),
+    horizon=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100)
+def test_horizon_splits_execution_exactly(delays, horizon):
+    sim = Simulator()
+    early, late = [], []
+    for delay in delays:
+        sim.schedule(
+            delay,
+            lambda d=delay: (early if d <= horizon else late).append(d),
+        )
+    sim.run(until_ns=horizon)
+    assert sorted(early) == sorted(d for d in delays if d <= horizon)
+    assert late == []
+    sim.run()
+    assert sorted(late) == sorted(d for d in delays if d > horizon)
+
+
+@given(seed_delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_clock_never_goes_backwards(seed_delays):
+    sim = Simulator()
+    observed = []
+
+    def chain(remaining):
+        observed.append(sim.now)
+        if remaining:
+            sim.schedule(remaining[0], lambda: chain(remaining[1:]))
+
+    sim.schedule(seed_delays[0], lambda: chain(seed_delays[1:]))
+    sim.run()
+    assert observed == sorted(observed)

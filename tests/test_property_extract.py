@@ -1,0 +1,79 @@
+"""Property-based tests for event extraction invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extract import EventExtractor
+from repro.core.samples import SampleTrace
+
+MS = 1_000_000
+
+
+@st.composite
+def busy_timelines(draw):
+    """Random idle timelines with injected busy bursts."""
+    bursts = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=200),  # gap ms before burst
+                st.integers(min_value=1, max_value=50),  # busy ms
+            ),
+            max_size=15,
+        )
+    )
+    times = [0]
+    t = 0
+    busy_total = 0
+    for gap, busy in bursts:
+        # idle records through the gap
+        for _ in range(gap):
+            t += 1
+            times.append(t * MS)
+        # burst: one elongated interval
+        t += busy + 1
+        times.append(t * MS)
+        busy_total += busy
+    # trailing idle
+    for _ in range(5):
+        t += 1
+        times.append(t * MS)
+    return SampleTrace(times, loop_ns=MS), busy_total, len(bursts)
+
+
+@given(busy_timelines())
+@settings(max_examples=100)
+def test_extracted_busy_conserved(timeline):
+    trace, busy_total, _count = timeline
+    periods = EventExtractor().busy_periods(trace)
+    assert sum(p.busy_ns for p in periods) == busy_total * MS
+
+
+@given(busy_timelines())
+@settings(max_examples=100)
+def test_events_never_overlap(timeline):
+    trace, _busy_total, _count = timeline
+    profile = EventExtractor().extract(trace).profile
+    events = sorted(profile.events, key=lambda e: e.start_ns)
+    for a, b in zip(events, events[1:]):
+        assert a.end_ns <= b.start_ns
+
+
+@given(busy_timelines(), st.integers(min_value=0, max_value=20))
+@settings(max_examples=100)
+def test_merging_only_reduces_event_count(timeline, merge_gap_ms):
+    trace, _busy_total, _count = timeline
+    unmerged = EventExtractor(merge_gap_ns=0).extract(trace).profile
+    merged = EventExtractor(merge_gap_ns=merge_gap_ms * MS).extract(trace).profile
+    assert len(merged) <= len(unmerged)
+    # Total busy is conserved by merging.
+    assert sum(e.busy_ns for e in merged) == sum(e.busy_ns for e in unmerged)
+
+
+@given(busy_timelines(), st.integers(min_value=1, max_value=40))
+@settings(max_examples=100)
+def test_min_event_filter_monotone(timeline, min_ms):
+    trace, _busy_total, _count = timeline
+    all_events = EventExtractor().extract(trace).profile
+    filtered = EventExtractor(min_event_ns=min_ms * MS).extract(trace).profile
+    assert len(filtered) <= len(all_events)
+    assert all(e.latency_ns >= min_ms * MS for e in filtered)

@@ -1,0 +1,61 @@
+"""Property-based tests for the wait/think FSM."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsm import StateInput, Transition, UserState, WaitThinkFSM, classify_timeline
+
+transitions_strategy = st.lists(
+    st.builds(
+        Transition,
+        time_ns=st.integers(min_value=0, max_value=10**9),
+        which=st.sampled_from(list(StateInput)),
+        active=st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+@given(transitions_strategy)
+@settings(max_examples=150)
+def test_spans_partition_the_window(transitions):
+    start, end = 0, 10**9
+    spans, summary = classify_timeline(transitions, start, end)
+    assert summary.wait_ns + summary.think_ns == end - start
+    # Spans tile the window without gaps or overlaps.
+    cursor = start
+    for span in spans:
+        assert span.start_ns == cursor
+        assert span.end_ns > span.start_ns
+        cursor = span.end_ns
+    assert cursor == end
+
+
+@given(transitions_strategy)
+@settings(max_examples=150)
+def test_adjacent_spans_alternate_state(transitions):
+    spans, _summary = classify_timeline(transitions, 0, 10**9)
+    for a, b in zip(spans, spans[1:]):
+        assert a.state != b.state
+
+
+@given(transitions_strategy)
+@settings(max_examples=150)
+def test_final_state_matches_replayed_inputs(transitions):
+    end = 10**9
+    fsm = WaitThinkFSM()
+    # Transitions at exactly the window end take effect after it.
+    for transition in sorted(
+        (t for t in transitions if t.time_ns < end), key=lambda t: t.time_ns
+    ):
+        fsm.apply(transition)
+    spans, _summary = classify_timeline(transitions, 0, end)
+    if spans:
+        assert spans[-1].state == fsm.state
+
+
+@given(transitions_strategy)
+@settings(max_examples=100)
+def test_unnoticeable_wait_never_exceeds_wait(transitions):
+    _spans, summary = classify_timeline(transitions, 0, 10**9)
+    assert 0 <= summary.unnoticeable_wait_ns <= summary.wait_ns

@@ -1,0 +1,75 @@
+"""Property-based tests for kernel scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.timebase import cycles_to_ns, ns_from_ms
+from repro.winsys import Compute, boot
+
+# Keep workloads small: each example boots a full system.
+workloads = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=12),  # priority
+        st.integers(min_value=10_000, max_value=2_000_000),  # cycles
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def run_workload(threads):
+    system = boot("nt40")
+    completions = {}
+
+    def make_program(tag, cycles):
+        def program():
+            yield Compute(system.personality.app_work(cycles))
+            completions[tag] = system.now
+
+        return program()
+
+    for index, (priority, cycles) in enumerate(threads):
+        system.spawn(f"t{index}", make_program(index, cycles), priority=priority)
+    system.run_for(ns_from_ms(2000))
+    return system, completions
+
+
+@given(workloads)
+@settings(max_examples=40, deadline=None)
+def test_all_threads_complete(threads):
+    _system, completions = run_workload(threads)
+    assert len(completions) == len(threads)
+
+
+@given(workloads)
+@settings(max_examples=40, deadline=None)
+def test_strictly_higher_priority_finishes_first(threads):
+    """With all threads ready at boot, a higher-priority thread always
+    completes before any strictly lower-priority one."""
+    _system, completions = run_workload(threads)
+    for i, (priority_i, _c) in enumerate(threads):
+        for j, (priority_j, _c2) in enumerate(threads):
+            if priority_i > priority_j:
+                assert completions[i] < completions[j], (threads, completions)
+
+
+@given(workloads)
+@settings(max_examples=40, deadline=None)
+def test_busy_time_conserved(threads):
+    """CPU busy time = requested work + bounded system overhead."""
+    system, completions = run_workload(threads)
+    requested_ns = sum(cycles_to_ns(cycles) for _p, cycles in threads)
+    busy = system.machine.cpu.busy_ns
+    assert busy >= requested_ns
+    # Overhead: clock ISRs + tick/housekeeping DPCs over the 2 s window.
+    overhead_budget = ns_from_ms(40)
+    assert busy <= requested_ns + overhead_budget
+
+
+@given(workloads)
+@settings(max_examples=30, deadline=None)
+def test_completion_time_lower_bound(threads):
+    """No thread finishes before its own work could possibly complete."""
+    _system, completions = run_workload(threads)
+    for index, (_priority, cycles) in enumerate(threads):
+        assert completions[index] >= cycles_to_ns(cycles)

@@ -1,0 +1,93 @@
+"""Property-based tests for latency profiles and analysis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    cumulative_latency_curve,
+    cumulative_vs_events,
+    latency_histogram,
+)
+from repro.core.interarrival import interarrival_table
+from repro.core.latency import LatencyEvent, LatencyProfile
+
+MS = 1_000_000
+
+
+@st.composite
+def profiles(draw):
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),  # start ms
+                st.integers(min_value=1, max_value=10_000),  # latency ms
+            ),
+            max_size=60,
+        )
+    )
+    return LatencyProfile(
+        [
+            LatencyEvent(start_ns=start * MS, latency_ns=latency * MS)
+            for start, latency in events
+        ]
+    )
+
+
+@given(profiles())
+@settings(max_examples=150)
+def test_above_below_partition(profile):
+    threshold = 100.0
+    above = profile.above(threshold)
+    below = profile.below(threshold)
+    assert len(above) + len(below) == len(profile)
+    assert above.total_latency_ns + below.total_latency_ns == profile.total_latency_ns
+
+
+@given(profiles())
+@settings(max_examples=150)
+def test_cumulative_curve_total_matches(profile):
+    _latencies, cumulative = cumulative_latency_curve(profile)
+    if len(profile):
+        assert cumulative[-1] * MS == pytest_approx_int(profile.total_latency_ns)
+    else:
+        assert len(cumulative) == 0
+
+
+def pytest_approx_int(value):
+    return value  # integer-exact in our unit scheme
+
+
+@given(profiles())
+@settings(max_examples=150)
+def test_cumulative_vs_events_monotone_and_convex(profile):
+    """Sorted by duration: increments must be non-decreasing."""
+    _index, cumulative = cumulative_vs_events(profile)
+    increments = np.diff(np.concatenate([[0.0], cumulative]))
+    assert np.all(np.diff(increments) >= -1e-9)
+
+
+@given(profiles(), st.floats(min_value=0.5, max_value=500.0))
+@settings(max_examples=100)
+def test_histogram_counts_everything_up_to_max(profile, bin_ms):
+    hist = latency_histogram(profile, bin_ms=bin_ms)
+    assert hist.total <= len(profile)
+    if len(profile):
+        # With the default max the histogram covers every event except
+        # possibly the single maximum landing on the last edge.
+        assert hist.total >= len(profile) - 1
+
+
+@given(profiles())
+@settings(max_examples=100)
+def test_fraction_of_latency_below_bounds(profile):
+    fraction = profile.fraction_of_latency_below(100.0)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(profiles())
+@settings(max_examples=100)
+def test_interarrival_counts_monotone_in_threshold(profile):
+    rows = interarrival_table(profile, [10.0, 100.0, 1000.0])
+    counts = [row.count for row in rows]
+    assert counts == sorted(counts, reverse=True)

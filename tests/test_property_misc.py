@@ -1,0 +1,111 @@
+"""Property-based tests: disk service, typist model, text, work algebra."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.devices.disk import Disk, DiskRequest
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.work import HwEvent, Work
+from repro.workload.text import generate_text
+from repro.workload.typist import TypistModel
+
+
+@given(
+    block=st.integers(min_value=0, max_value=262_143),
+    count=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=100)
+def test_disk_service_time_positive_and_bounded(block, count, seed):
+    sim = Simulator()
+    disk = Disk(sim, RngStreams(seed))
+    if block + count > disk.geometry.total_blocks:
+        count = disk.geometry.total_blocks - block
+    service = disk.service_time_ns(DiskRequest(block=block, count=count))
+    geometry = disk.geometry
+    assert service >= geometry.controller_overhead_ns
+    assert service <= (
+        geometry.controller_overhead_ns
+        + geometry.max_seek_ns
+        + geometry.rotation_ns
+        + geometry.transfer_ns_per_block * count
+    )
+
+
+@given(
+    count_small=st.integers(min_value=1, max_value=16),
+    extra=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=50)
+def test_disk_transfer_monotone_in_block_count(count_small, extra):
+    """More blocks never cost less, comparing same-seed rotation draws."""
+    def service(count):
+        sim = Simulator()
+        disk = Disk(sim, RngStreams(0))
+        return disk.service_time_ns(DiskRequest(block=1000, count=count))
+
+    assert service(count_small + extra) >= service(count_small)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    wpm=st.floats(min_value=10.0, max_value=200.0),
+    keys=st.lists(
+        st.sampled_from(list("abcdef .!?") + ["Enter", "Backspace"]),
+        min_size=1,
+        max_size=50,
+    ),
+)
+@settings(max_examples=100)
+def test_typist_gaps_respect_the_shneiderman_floor(seed, wpm, keys):
+    model = TypistModel(random.Random(seed), wpm=wpm)
+    for key in keys:
+        assert model.gap_after_ms(key) >= 120.0
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       chars=st.integers(min_value=50, max_value=3000))
+@settings(max_examples=50)
+def test_generate_text_invariants(seed, chars):
+    text = generate_text(random.Random(seed), chars)
+    assert len(text) >= chars * 0.9
+    assert len(text) <= chars * 1.5
+    assert text.endswith("\n")
+    assert "  " not in text  # single spacing
+
+
+@given(
+    cycles=st.integers(min_value=0, max_value=10**9),
+    counts=st.dictionaries(
+        st.sampled_from(list(HwEvent)), st.integers(min_value=0, max_value=10**6),
+        max_size=4,
+    ),
+    factor=st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=100)
+def test_work_scaling_bounds(cycles, counts, factor):
+    work = Work(cycles, dict(counts))
+    scaled = work.scaled(factor)
+    assert abs(scaled.cycles - cycles * factor) <= 0.5
+    for event, count in counts.items():
+        assert abs(scaled.events.get(event, 0) - count * factor) <= 0.5
+
+
+@given(
+    a_cycles=st.integers(min_value=0, max_value=10**6),
+    b_cycles=st.integers(min_value=0, max_value=10**6),
+    event=st.sampled_from(list(HwEvent)),
+    a_count=st.integers(min_value=0, max_value=1000),
+    b_count=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100)
+def test_work_plus_commutative(a_cycles, b_cycles, event, a_count, b_count):
+    a = Work(a_cycles, {event: a_count})
+    b = Work(b_cycles, {event: b_count})
+    ab = a.plus(b)
+    ba = b.plus(a)
+    assert ab.cycles == ba.cycles
+    assert ab.events == ba.events

@@ -1,0 +1,82 @@
+"""Property-based tests for sample-trace invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.samples import SampleTrace
+
+MS = 1_000_000
+
+
+@st.composite
+def traces(draw):
+    """Random plausible idle-loop traces: intervals >= the loop time."""
+    loop_ns = draw(st.sampled_from([MS // 4, MS, 4 * MS]))
+    count = draw(st.integers(min_value=2, max_value=100))
+    extras = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50 * MS),
+            min_size=count - 1,
+            max_size=count - 1,
+        )
+    )
+    times = [0]
+    for extra in extras:
+        times.append(times[-1] + loop_ns + extra)
+    return SampleTrace(times, loop_ns=loop_ns), extras
+
+
+@given(traces())
+@settings(max_examples=100)
+def test_total_busy_equals_sum_of_elongations(trace_and_extras):
+    trace, extras = trace_and_extras
+    assert trace.total_busy_ns() == sum(extras)
+
+
+@given(traces())
+@settings(max_examples=100)
+def test_utilization_bounded(trace_and_extras):
+    trace, _extras = trace_and_extras
+    _times, util = trace.per_sample_utilization()
+    assert np.all(util >= 0.0)
+    assert np.all(util < 1.0)
+
+
+@given(traces(), st.integers(min_value=1, max_value=20))
+@settings(max_examples=100)
+def test_windowed_busy_conserved(trace_and_extras, window_ms):
+    """Windowing must neither create nor destroy busy time."""
+    trace, extras = trace_and_extras
+    _starts, util = trace.utilization_windows(window_ms * MS)
+    # Total busy from windows (last window may be clipped at t1).
+    t0, t1 = int(trace.times[0]), int(trace.times[-1])
+    busy_from_windows = 0.0
+    for index, value in enumerate(util):
+        w_lo = t0 + index * window_ms * MS
+        w_hi = min(w_lo + window_ms * MS, t1)
+        busy_from_windows += value * window_ms * MS if w_hi - w_lo == window_ms * MS else value * window_ms * MS
+    # Clipping the final window can lose at most one window of busy.
+    assert abs(busy_from_windows - sum(extras)) <= (window_ms + 1) * MS
+
+
+@given(traces())
+@settings(max_examples=100)
+def test_elongated_covers_all_busy(trace_and_extras):
+    trace, extras = trace_and_extras
+    # factor=1.0 detects any interval strictly longer than the loop.
+    found_busy = sum(busy for _s, _e, busy in trace.elongated(factor=1.0))
+    assert found_busy == sum(extras)
+
+
+@given(traces(), st.data())
+@settings(max_examples=50)
+def test_slice_preserves_intervals(trace_and_extras, data):
+    trace, _extras = trace_and_extras
+    t0 = int(trace.times[0])
+    t1 = int(trace.times[-1])
+    lo = data.draw(st.integers(min_value=t0, max_value=t1))
+    hi = data.draw(st.integers(min_value=lo, max_value=t1))
+    sliced = trace.slice(lo, hi)
+    assert all(lo <= t <= hi for t in sliced.times)
+    assert sliced.total_busy_ns() <= trace.total_busy_ns()

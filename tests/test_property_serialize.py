@@ -1,0 +1,73 @@
+"""Property-based round-trip tests for serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.samples import SampleTrace
+from repro.core.serialize import (
+    profile_from_dict,
+    profile_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+@st.composite
+def arbitrary_profiles(draw):
+    events = draw(
+        st.lists(
+            st.builds(
+                LatencyEvent,
+                start_ns=st.integers(min_value=0, max_value=10**12),
+                latency_ns=st.integers(min_value=0, max_value=10**10),
+                busy_ns=st.integers(min_value=0, max_value=10**10),
+                message_kinds=st.tuples(st.sampled_from(
+                    ["WM_CHAR", "WM_KEYDOWN", "WM_TIMER", "WM_SOCKET"]
+                )),
+                first_input=st.one_of(st.none(), st.text(max_size=5)),
+                label=st.text(max_size=10),
+            ),
+            max_size=30,
+        )
+    )
+    name = draw(st.text(max_size=10))
+    return LatencyProfile(events, name=name)
+
+
+@given(arbitrary_profiles())
+@settings(max_examples=100)
+def test_profile_roundtrip_exact(profile):
+    import json
+
+    payload = json.loads(json.dumps(profile_to_dict(profile)))
+    restored = profile_from_dict(payload)
+    assert restored.name == profile.name
+    assert len(restored) == len(profile)
+    for a, b in zip(profile, restored):
+        assert (a.start_ns, a.latency_ns, a.busy_ns) == (
+            b.start_ns,
+            b.latency_ns,
+            b.busy_ns,
+        )
+        assert a.message_kinds == b.message_kinds
+        assert a.first_input == b.first_input
+        assert a.label == b.label
+
+
+@given(
+    deltas=st.lists(st.integers(min_value=0, max_value=10**9), max_size=50),
+    loop_ns=st.integers(min_value=1, max_value=10**7),
+)
+@settings(max_examples=100)
+def test_trace_roundtrip_exact(deltas, loop_ns):
+    import json
+
+    times = [0]
+    for delta in deltas:
+        times.append(times[-1] + delta)
+    trace = SampleTrace(times, loop_ns=loop_ns)
+    payload = json.loads(json.dumps(trace_to_dict(trace)))
+    restored = trace_from_dict(payload)
+    assert list(restored.times) == times
+    assert restored.loop_ns == loop_ns

@@ -1,0 +1,94 @@
+"""Unit and property tests for the display-refresh extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.refresh import (
+    DEFAULT_REFRESH_NS,
+    refresh_adjusted,
+    refresh_penalty,
+)
+
+MS = 1_000_000
+
+
+def profile_of(*events):
+    return LatencyProfile(
+        [LatencyEvent(start_ns=s, latency_ns=l, label=label) for s, l, label in events]
+    )
+
+
+class TestRefreshAdjusted:
+    def test_rounds_up_to_boundary(self):
+        # Event ends at 5 ms; 10 ms refresh -> visible at 10 ms.
+        profile = profile_of((0, 5 * MS, ""))
+        adjusted = refresh_adjusted(profile, period_ns=10 * MS)
+        assert adjusted[0].latency_ns == 10 * MS
+
+    def test_exact_boundary_unchanged(self):
+        profile = profile_of((0, 10 * MS, ""))
+        adjusted = refresh_adjusted(profile, period_ns=10 * MS)
+        assert adjusted[0].latency_ns == 10 * MS
+
+    def test_phase_shifts_boundaries(self):
+        profile = profile_of((0, 5 * MS, ""))
+        adjusted = refresh_adjusted(profile, period_ns=10 * MS, phase_ns=7 * MS)
+        assert adjusted[0].latency_ns == 7 * MS
+
+    def test_metadata_preserved(self):
+        profile = profile_of((3 * MS, 5 * MS, "keystroke"))
+        adjusted = refresh_adjusted(profile, period_ns=10 * MS)
+        assert adjusted[0].label == "keystroke"
+        assert adjusted[0].start_ns == 3 * MS
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            refresh_adjusted(profile_of(), period_ns=0)
+
+    def test_default_period_in_paper_band(self):
+        assert 12 * MS <= DEFAULT_REFRESH_NS <= 17 * MS
+
+
+class TestRefreshPenalty:
+    def test_empty_profile(self):
+        penalty = refresh_penalty(profile_of())
+        assert penalty.mean_penalty_ns == 0.0
+        assert penalty.affected_fraction == 0.0
+
+    def test_penalty_values(self):
+        profile = profile_of((0, 4 * MS, ""), (0, 10 * MS, ""))
+        penalty = refresh_penalty(profile, period_ns=10 * MS)
+        assert penalty.max_penalty_ns == 6 * MS
+        assert penalty.mean_penalty_ns == pytest.approx(3 * MS)
+        assert penalty.affected_fraction == 0.5
+
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**9),
+            st.integers(min_value=1, max_value=10**8),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    period_ms=st.integers(min_value=1, max_value=50),
+    phase_ms=st.integers(min_value=0, max_value=49),
+)
+@settings(max_examples=150)
+def test_property_penalty_bounded_by_period(events, period_ms, phase_ms):
+    profile = LatencyProfile(
+        [LatencyEvent(start_ns=s, latency_ns=l) for s, l in events]
+    )
+    period = period_ms * MS
+    adjusted = refresh_adjusted(profile, period_ns=period, phase_ns=phase_ms * MS)
+    for before, after in zip(
+        sorted(profile, key=lambda e: (e.start_ns, e.latency_ns)),
+        sorted(adjusted, key=lambda e: (e.start_ns, e.latency_ns)),
+    ):
+        penalty = after.latency_ns - before.latency_ns
+        assert 0 <= penalty < period
+        # Visibility lands exactly on a raster boundary.
+        assert (after.end_ns - phase_ms * MS) % period == 0

@@ -1,0 +1,110 @@
+"""Tests for input capture and exact replay."""
+
+import pytest
+
+from repro.apps import NotepadApp
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import boot
+from repro.workload.mstest import MsTestDriver
+from repro.workload.replay import Recording, ReplayDriver
+from repro.workload.script import InputScript, Key
+from repro.workload.typist import TypistDriver
+
+
+def run_typist(seed=3):
+    system = boot("nt40", seed=seed)
+    app = NotepadApp(system)
+    app.start(foreground=True)
+    system.run_for(ns_from_ms(5))
+    driver = TypistDriver(system, InputScript([Key(c) for c in "replay me"]))
+    driver.run_to_completion()
+    return system, app, driver
+
+
+class TestRecording:
+    def test_capture_from_typist(self):
+        _system, _app, driver = run_typist()
+        recording = Recording.from_driver(driver)
+        assert len(recording) == len("replay me")
+        assert recording.entries[0][0] == 0  # normalized to origin
+        assert recording.duration_ns > 0
+
+    def test_empty_recording(self):
+        class FakeDriver:
+            injection_times = []
+            _injected_actions = []
+
+        recording = Recording.from_driver(FakeDriver())
+        assert len(recording) == 0
+        assert recording.duration_ns == 0
+
+
+class TestReplayDriver:
+    def test_replay_preserves_exact_offsets(self):
+        _system, _app, driver = run_typist()
+        recording = Recording.from_driver(driver)
+        original_gaps = [
+            b - a
+            for a, b in zip(driver.injection_times, driver.injection_times[1:])
+        ]
+
+        target = boot("nt351", seed=99)  # different OS, different seed
+        app = NotepadApp(target)
+        app.start(foreground=True)
+        target.run_for(ns_from_ms(5))
+        replay = ReplayDriver(target, recording)
+        replay.run_to_completion()
+        replay_gaps = [
+            b - a
+            for a, b in zip(replay.injection_times, replay.injection_times[1:])
+        ]
+        assert replay_gaps == original_gaps  # exact, to the nanosecond
+        assert app.keystrokes >= len("replay me")
+
+    def test_recorded_script_approximates_timing(self):
+        system, _app, driver = run_typist()
+        script = driver.recorded_script()
+        assert script.key_count() == len("replay me")
+        # Pauses reflect the observed gaps.
+        pauses = [a.pause_ms for a in script if isinstance(a, Key)][:-1]
+        gaps_ms = [
+            (b - a) / 1e6
+            for a, b in zip(driver.injection_times, driver.injection_times[1:])
+        ]
+        for pause, gap in zip(pauses, gaps_ms):
+            assert pause == pytest.approx(gap)
+
+    def test_replay_cross_os_same_input_different_latency(self):
+        _system, _app, driver = run_typist()
+        recording = Recording.from_driver(driver)
+
+        def measure(os_name):
+            from repro.core import EventExtractor, IdleLoopInstrument, MessageApiMonitor
+
+            system = boot(os_name, seed=1)
+            app = NotepadApp(system)
+            app.start(foreground=True)
+            instrument = IdleLoopInstrument(system)
+            instrument.install()
+            monitor = MessageApiMonitor(system, thread_name=app.name)
+            monitor.attach()
+            system.run_for(ns_from_ms(5))
+            ReplayDriver(system, recording).run_to_completion()
+            extraction = EventExtractor(
+                monitor=monitor, merge_gap_ns=ns_from_ms(2)
+            ).extract(instrument.trace())
+            return extraction.profile.mean_ms()
+
+        nt40_mean = measure("nt40")
+        nt351_mean = measure("nt351")
+        # Identical input stream, measurably different responsiveness.
+        assert nt351_mean > nt40_mean
+
+    def test_timeout(self):
+        _system, _app, driver = run_typist()
+        recording = Recording.from_driver(driver)
+        target = boot("nt40", seed=5)
+        NotepadApp(target).start(foreground=True)
+        replay = ReplayDriver(target, recording)
+        with pytest.raises(TimeoutError):
+            replay.run_to_completion(max_seconds=0.05)

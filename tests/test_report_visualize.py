@@ -1,0 +1,107 @@
+"""Unit tests for table rendering and terminal visualization."""
+
+import pytest
+
+from repro.core.analysis import latency_histogram
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.report import TextTable, format_quantity
+from repro.core.visualize import (
+    bar_chart,
+    cumulative_latency_plot,
+    curve_plot,
+    event_time_series,
+    grouped_bar_chart,
+    log_histogram,
+    utilization_profile,
+)
+
+MS = 1_000_000
+
+
+def profile_of(*latencies_ms):
+    return LatencyProfile(
+        [
+            LatencyEvent(start_ns=i * 100 * MS, latency_ns=int(l * MS))
+            for i, l in enumerate(latencies_ms)
+        ]
+    )
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable(["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("longer-name", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[0:2]}) == 1  # header & rule align
+
+    def test_wrong_cell_count_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"]).add_row(1)
+
+    def test_title(self):
+        table = TextTable(["x"], title="My Table")
+        table.add_row(1)
+        assert table.render().startswith("My Table")
+
+    def test_add_rows(self):
+        table = TextTable(["a", "b"]).add_rows([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_format_quantity(self):
+        assert format_quantity(1234567) == "1,234,567"
+        assert format_quantity(3.14159) == "3.14"
+        assert format_quantity(True) == "yes"
+        assert format_quantity("text") == "text"
+
+
+class TestCharts:
+    def test_bar_chart_scales(self):
+        text = bar_chart([("a", 10.0), ("b", 20.0)], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_bar_chart_overflow_marker(self):
+        text = bar_chart([("a", 100.0)], width=10, max_value=10.0)
+        assert ">" in text
+
+    def test_grouped_bar_chart(self):
+        text = grouped_bar_chart({"metric": {"nt40": 1.0, "nt351": 2.0}})
+        assert "metric:" in text
+        assert "nt40" in text
+
+    def test_event_time_series_renders(self):
+        text = event_time_series(profile_of(10, 200, 50), width=40, height=8)
+        assert "|" in text
+        assert "threshold" in text
+
+    def test_event_time_series_empty(self):
+        assert event_time_series(profile_of()) == "(no events)"
+
+    def test_log_histogram(self):
+        hist = latency_histogram(profile_of(*([1] * 100 + [50])), bin_ms=2.0)
+        text = log_histogram(hist)
+        assert "100" in text and "ms" in text
+
+    def test_curve_plot(self):
+        text = curve_plot([0, 1, 2], [0, 10, 40], x_label="x", y_label="y")
+        assert "*" in text
+        assert "x:" in text
+
+    def test_curve_plot_empty(self):
+        assert curve_plot([], []) == "(no data)"
+
+    def test_cumulative_latency_plot(self):
+        assert "*" in cumulative_latency_plot(profile_of(1, 2, 3))
+
+    def test_utilization_profile(self):
+        text = utilization_profile([0, MS, 2 * MS], [0.0, 0.5, 1.0], width=30, height=5)
+        assert "#" in text
+        assert "peak" in text
+
+    def test_utilization_profile_empty(self):
+        assert utilization_profile([], []) == "(no samples)"

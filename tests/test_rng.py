@@ -1,0 +1,45 @@
+"""Unit tests for the named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).stream("typist")
+        b = RngStreams(7).stream("typist")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_differ(self):
+        streams = RngStreams(7)
+        a = streams.stream("typist")
+        b = streams.stream("disk")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x")
+        b = RngStreams(2).stream("x")
+        assert a.random() != b.random()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_creation_order_does_not_matter(self):
+        """Adding a new consumer must not perturb existing streams."""
+        first = RngStreams(3)
+        draw_direct = first.stream("word").random()
+
+        second = RngStreams(3)
+        second.stream("some-new-consumer").random()
+        second.stream("another").random()
+        assert second.stream("word").random() == draw_direct
+
+    def test_fork_is_disjoint(self):
+        parent = RngStreams(5)
+        child = parent.fork("subsystem")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_fork_deterministic(self):
+        a = RngStreams(5).fork("sub").stream("x").random()
+        b = RngStreams(5).fork("sub").stream("x").random()
+        assert a == b

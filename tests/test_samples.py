@@ -1,0 +1,90 @@
+"""Unit tests for sample traces and utilization series."""
+
+import numpy as np
+import pytest
+
+from repro.core.samples import SampleTrace
+
+MS = 1_000_000
+LOOP = 1 * MS
+
+
+class TestBasics:
+    def test_intervals(self):
+        trace = SampleTrace([0, MS, 2 * MS, 12 * MS], loop_ns=LOOP)
+        assert list(trace.intervals_ns) == [MS, MS, 10 * MS]
+
+    def test_busy_per_interval(self):
+        trace = SampleTrace([0, MS, 11 * MS], loop_ns=LOOP)
+        assert list(trace.busy_ns_per_interval) == [0, 9 * MS]
+
+    def test_nondecreasing_required(self):
+        with pytest.raises(ValueError):
+            SampleTrace([10, 5], loop_ns=LOOP)
+
+    def test_loop_validation(self):
+        with pytest.raises(ValueError):
+            SampleTrace([0], loop_ns=0)
+
+    def test_totals(self):
+        trace = SampleTrace([0, MS, 11 * MS, 12 * MS], loop_ns=LOOP)
+        assert trace.total_busy_ns() == 9 * MS
+        assert trace.total_span_ns() == 12 * MS
+
+    def test_empty_trace(self):
+        trace = SampleTrace([], loop_ns=LOOP)
+        assert trace.total_busy_ns() == 0
+        assert trace.total_span_ns() == 0
+        times, util = trace.per_sample_utilization()
+        assert len(times) == 0 and len(util) == 0
+
+
+class TestUtilization:
+    def test_paper_example(self):
+        """Section 2.5: 10 ms to collect a 1 ms sample => 90% utilization."""
+        trace = SampleTrace([0, 10 * MS], loop_ns=LOOP)
+        _times, util = trace.per_sample_utilization()
+        assert util[0] == pytest.approx(0.9)
+
+    def test_idle_utilization_zero(self):
+        trace = SampleTrace([0, MS, 2 * MS], loop_ns=LOOP)
+        _times, util = trace.per_sample_utilization()
+        assert np.all(util == 0.0)
+
+    def test_windows_spread_busy_uniformly(self):
+        # One 11 ms interval with 10 ms busy, windows of 5 ms.
+        trace = SampleTrace([0, 11 * MS], loop_ns=LOOP)
+        starts, util = trace.utilization_windows(5 * MS)
+        assert len(starts) == 3
+        # Busy density = 10/11 everywhere in the interval.
+        assert util[0] == pytest.approx(10 / 11, rel=0.01)
+        assert util[1] == pytest.approx(10 / 11, rel=0.01)
+
+    def test_window_validation(self):
+        trace = SampleTrace([0, MS], loop_ns=LOOP)
+        with pytest.raises(ValueError):
+            trace.utilization_windows(0)
+
+    def test_windows_clip_to_one(self):
+        trace = SampleTrace([0, 100 * MS], loop_ns=LOOP)
+        _starts, util = trace.utilization_windows(10 * MS)
+        assert np.all(util <= 1.0)
+
+
+class TestSliceAndElongated:
+    def test_slice(self):
+        trace = SampleTrace([0, MS, 2 * MS, 3 * MS], loop_ns=LOOP)
+        sliced = trace.slice(MS, 2 * MS)
+        assert list(sliced.times) == [MS, 2 * MS]
+        with pytest.raises(ValueError):
+            trace.slice(5, 1)
+
+    def test_elongated_finds_busy_intervals(self):
+        trace = SampleTrace([0, MS, 2 * MS, 8 * MS, 9 * MS], loop_ns=LOOP)
+        found = trace.elongated(factor=1.5)
+        assert found == [(2 * MS, 8 * MS, 5 * MS)]
+
+    def test_elongated_factor_threshold(self):
+        trace = SampleTrace([0, int(1.4 * MS)], loop_ns=LOOP)
+        assert trace.elongated(factor=1.5) == []
+        assert len(trace.elongated(factor=1.3)) == 1

@@ -1,0 +1,114 @@
+"""Unit tests for artifact serialization."""
+
+import pytest
+
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.samples import SampleTrace
+from repro.core.serialize import (
+    experiment_to_dict,
+    load_json,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+MS = 1_000_000
+
+
+class TestTraceRoundTrip:
+    def test_exact_roundtrip(self):
+        trace = SampleTrace([0, MS, 2 * MS, 9 * MS], loop_ns=MS)
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert list(restored.times) == list(trace.times)
+        assert restored.loop_ns == trace.loop_ns
+        assert restored.total_busy_ns() == trace.total_busy_ns()
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"kind": "something-else"})
+
+
+class TestProfileRoundTrip:
+    def test_exact_roundtrip(self):
+        profile = LatencyProfile(
+            [
+                LatencyEvent(
+                    start_ns=5 * MS,
+                    latency_ns=3 * MS,
+                    busy_ns=2 * MS,
+                    message_kinds=("WM_CHAR", "WM_KEYUP"),
+                    first_input="a",
+                    label="keystroke",
+                )
+            ],
+            name="run-1",
+        )
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored.name == "run-1"
+        event = restored[0]
+        assert event.start_ns == 5 * MS
+        assert event.latency_ns == 3 * MS
+        assert event.busy_ns == 2 * MS
+        assert event.message_kinds == ("WM_CHAR", "WM_KEYUP")
+        assert event.first_input == "a"
+        assert event.label == "keystroke"
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            profile_from_dict({"kind": "sample-trace"})
+
+    def test_statistics_survive(self):
+        profile = LatencyProfile(
+            [LatencyEvent(start_ns=i * MS, latency_ns=(i + 1) * MS) for i in range(10)]
+        )
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert restored.total_latency_ns == profile.total_latency_ns
+        assert restored.mean_ms() == profile.mean_ms()
+
+
+class TestFileIo:
+    def test_save_and_load(self, tmp_path):
+        trace = SampleTrace([0, MS], loop_ns=MS)
+        path = save_json(trace_to_dict(trace), tmp_path / "trace.json")
+        assert path.exists()
+        restored = trace_from_dict(load_json(path))
+        assert restored.loop_ns == MS
+
+    def test_json_is_diffable(self, tmp_path):
+        """Stable key order so archived artifacts diff cleanly."""
+        trace = SampleTrace([0, MS], loop_ns=MS)
+        a = save_json(trace_to_dict(trace), tmp_path / "a.json").read_text()
+        b = save_json(trace_to_dict(trace), tmp_path / "b.json").read_text()
+        assert a == b
+
+
+class TestExperimentArchive:
+    def test_archives_checks_and_data(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("fig1", seed=0)
+        payload = experiment_to_dict(result)
+        assert payload["id"] == "fig1"
+        assert payload["checks"]
+        assert all(check["passed"] for check in payload["checks"])
+        # Must be valid JSON end to end.
+        import json
+
+        json.dumps(payload)
+
+    def test_numpy_values_convert(self):
+        import numpy as np
+
+        class Dummy:
+            id = "x"
+            title = "t"
+            tables = ()
+            figures = ()
+            data = {"value": np.float64(1.5), "arr": [np.int64(2)]}
+            checks = ()
+
+        payload = experiment_to_dict(Dummy())
+        assert payload["data"]["value"] == 1.5
+        assert payload["data"]["arr"] == [2]

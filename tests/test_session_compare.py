@@ -1,0 +1,129 @@
+"""Unit tests for MeasurementSession and cross-OS comparison."""
+
+import random
+
+import pytest
+
+from repro.apps import NotepadApp
+from repro.core.latency import LatencyEvent, LatencyProfile
+from repro.core.session import MeasurementSession, label_events
+from repro.core.compare import run_comparison
+from repro.workload.script import InputScript, Key, Mark
+from repro.workload.tasks import notepad_task
+
+MS = 1_000_000
+
+
+def tiny_script():
+    return InputScript([Key(c, pause_ms=120.0) for c in "hello"])
+
+
+class TestMeasurementSession:
+    def test_end_to_end_produces_events(self):
+        session = MeasurementSession("nt40", NotepadApp)
+        result = session.run(tiny_script(), max_seconds=60)
+        assert len(result.profile) == 5
+        assert result.elapsed_s > 0
+        assert result.trace.total_busy_ns() > 0
+
+    def test_driver_kinds(self):
+        for kind in ("mstest", "typist"):
+            session = MeasurementSession("nt40", NotepadApp)
+            result = session.run(tiny_script(), driver_kind=kind, max_seconds=120)
+            assert len(result.profile) == 5
+
+    def test_unknown_driver_rejected(self):
+        session = MeasurementSession("nt40", NotepadApp)
+        with pytest.raises(ValueError):
+            session.run(tiny_script(), driver_kind="robot")
+
+    def test_queuesync_removal_reduces_latency(self):
+        with_qs = MeasurementSession("nt40", NotepadApp).run(
+            tiny_script(), remove_queuesync=False, max_seconds=60
+        )
+        without_qs = MeasurementSession("nt40", NotepadApp).run(
+            tiny_script(), remove_queuesync=True, max_seconds=60
+        )
+        assert (
+            without_qs.profile.total_latency_ns < with_qs.profile.total_latency_ns
+        )
+        assert without_qs.extraction.queuesync_removed_ns > 0
+
+    def test_marks_label_events(self):
+        script = InputScript([Mark("first"), Key("a", pause_ms=150.0), Key("b")])
+        result = MeasurementSession("nt40", NotepadApp).run(script, max_seconds=60)
+        labelled = result.profile.labelled("first")
+        assert len(labelled) == 1
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            rng = random.Random(4)
+            spec = notepad_task(rng, chars=60, page_downs=1, arrows=2)
+            result = MeasurementSession("nt40", NotepadApp, seed=2).run(
+                spec.script, max_seconds=120
+            )
+            return [event.latency_ns for event in result.profile]
+
+        assert run_once() == run_once()
+
+
+class TestLabelEvents:
+    def test_slack_tolerates_early_start(self):
+        profile = LatencyProfile(
+            [LatencyEvent(start_ns=95 * MS, latency_ns=10 * MS)]
+        )
+        label_events(profile, [("op", 100 * MS)], slack_ns=10 * MS)
+        assert profile[0].label == "op"
+
+    def test_each_mark_labels_one_event(self):
+        profile = LatencyProfile(
+            [
+                LatencyEvent(start_ns=100 * MS, latency_ns=MS),
+                LatencyEvent(start_ns=200 * MS, latency_ns=MS),
+            ]
+        )
+        label_events(profile, [("a", 100 * MS), ("b", 200 * MS)])
+        assert [e.label for e in profile] == ["a", "b"]
+
+    def test_window_limits_matching(self):
+        profile = LatencyProfile(
+            [LatencyEvent(start_ns=500 * MS, latency_ns=MS)]
+        )
+        label_events(profile, [("far", 0)], window_ns=100 * MS)
+        assert profile[0].label == ""
+
+
+class TestComparison:
+    def test_runs_all_oses(self):
+        comparison = run_comparison(
+            "tiny",
+            ("nt351", "nt40"),
+            NotepadApp,
+            tiny_script(),
+            run_kwargs=dict(max_seconds=60),
+        )
+        assert comparison.os_names == ["nt351", "nt40"]
+        assert len(comparison.profile("nt40")) == 5
+
+    def test_summary_table_renders(self):
+        comparison = run_comparison(
+            "tiny",
+            ("nt40",),
+            NotepadApp,
+            tiny_script(),
+            run_kwargs=dict(max_seconds=60),
+        )
+        text = comparison.summary_table().render()
+        assert "nt40" in text
+        assert "events" in text
+
+    def test_cumulative_and_elapsed_maps(self):
+        comparison = run_comparison(
+            "tiny",
+            ("nt40",),
+            NotepadApp,
+            tiny_script(),
+            run_kwargs=dict(max_seconds=60),
+        )
+        assert comparison.cumulative_latency_ms()["nt40"] > 0
+        assert comparison.elapsed_s()["nt40"] > 0

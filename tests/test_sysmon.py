@@ -1,0 +1,78 @@
+"""Unit tests for the polled system-state sampler (Section 6 API)."""
+
+import pytest
+
+from repro.apps import NotepadApp, SlidesApp
+from repro.core.sysmon import SystemStateSampler
+from repro.sim.timebase import ns_from_ms
+from repro.winsys import boot
+
+
+class TestSampler:
+    def test_period_validation(self, nt40):
+        with pytest.raises(ValueError):
+            SystemStateSampler(nt40, period_ns=0)
+
+    def test_samples_at_period(self, nt40):
+        sampler = SystemStateSampler(nt40, period_ns=ns_from_ms(1))
+        sampler.start()
+        nt40.run_for(ns_from_ms(50))
+        sampler.stop()
+        assert 48 <= len(sampler.samples) <= 52
+
+    def test_double_start_rejected(self, nt40):
+        sampler = SystemStateSampler(nt40)
+        sampler.start()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+
+    def test_stop_halts_sampling(self, nt40):
+        sampler = SystemStateSampler(nt40, period_ns=ns_from_ms(1))
+        sampler.start()
+        nt40.run_for(ns_from_ms(10))
+        sampler.stop()
+        count = len(sampler.samples)
+        nt40.run_for(ns_from_ms(10))
+        assert len(sampler.samples) == count
+
+    def test_quiet_system_all_quiet_samples(self, nt40):
+        sampler = SystemStateSampler(nt40, period_ns=ns_from_ms(1))
+        sampler.start()
+        nt40.run_for(ns_from_ms(30))
+        assert sampler.max_queue_len() == 0
+        assert sampler.sync_io_spans() == []
+
+    def test_sees_queue_occupancy_during_typing(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        sampler = SystemStateSampler(nt40, period_ns=ns_from_ms(0.2))
+        sampler.start()
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("a")
+        nt40.run_for(ns_from_ms(50))
+        assert sampler.max_queue_len() >= 1
+        assert len(sampler.queue_nonempty_spans()) >= 1
+
+    def test_sees_sync_io_and_disk_queue(self, nt40):
+        app = SlidesApp(nt40)
+        app.start(foreground=True)
+        sampler = SystemStateSampler(nt40, period_ns=ns_from_ms(1))
+        sampler.start()
+        nt40.run_for(ns_from_ms(5))
+        nt40.post_command("launch")
+        nt40.run_for(ns_from_ms(500))
+        assert sampler.sync_io_spans()
+        assert sampler.max_disk_queue_depth() >= 1
+
+    def test_cpu_busy_spans(self, nt40):
+        app = NotepadApp(nt40)
+        app.start(foreground=True)
+        sampler = SystemStateSampler(nt40, period_ns=ns_from_ms(0.2))
+        sampler.start()
+        nt40.run_for(ns_from_ms(5))
+        nt40.machine.keyboard.keystroke("Enter")  # long refresh event
+        nt40.run_for(ns_from_ms(100))
+        spans = sampler.cpu_busy_spans()
+        assert spans
+        longest = max(end - start for start, end in spans)
+        assert longest > ns_from_ms(10)

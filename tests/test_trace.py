@@ -1,0 +1,77 @@
+"""Unit tests for the bounded trace buffer."""
+
+import pytest
+
+from repro.sim.trace import TraceBuffer, TraceOverflow
+
+
+class TestBasics:
+    def test_append_and_read(self):
+        buffer = TraceBuffer(10)
+        buffer.append(1)
+        buffer.append(2)
+        assert buffer.records() == [1, 2]
+        assert len(buffer) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(0)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(1, on_full="bogus")
+
+    def test_space_left(self):
+        buffer = TraceBuffer(3)
+        assert buffer.space_left == 3
+        buffer.append(1)
+        assert buffer.space_left == 2
+
+    def test_last(self):
+        buffer = TraceBuffer(3)
+        assert buffer.last() is None
+        buffer.append(5)
+        buffer.append(6)
+        assert buffer.last() == 6
+
+    def test_clear(self):
+        buffer = TraceBuffer(3)
+        buffer.append(1)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.dropped == 0
+
+
+class TestOverflowPolicies:
+    def test_stop_drops_silently(self):
+        buffer = TraceBuffer(2, on_full="stop")
+        assert buffer.append(1)
+        assert buffer.append(2)
+        assert not buffer.append(3)
+        assert buffer.records() == [1, 2]
+        assert buffer.dropped == 1
+
+    def test_raise_policy(self):
+        buffer = TraceBuffer(1, on_full="raise")
+        buffer.append(1)
+        with pytest.raises(TraceOverflow):
+            buffer.append(2)
+
+    def test_wrap_policy_keeps_newest(self):
+        buffer = TraceBuffer(3, on_full="wrap")
+        for value in range(6):
+            buffer.append(value)
+        assert buffer.records() == [3, 4, 5]
+
+    def test_wrap_chronological_order(self):
+        buffer = TraceBuffer(3, on_full="wrap")
+        for value in range(5):
+            buffer.append(value)
+        assert buffer.records() == [2, 3, 4]
+        assert buffer.last() == 4
+
+    def test_iteration(self):
+        buffer = TraceBuffer(4)
+        for value in (7, 8):
+            buffer.append(value)
+        assert list(buffer) == [7, 8]

@@ -1,0 +1,70 @@
+"""Unit tests for Work descriptors and hardware-event annotations."""
+
+import pytest
+
+from repro.sim.work import HwEvent, Work
+
+
+class TestWork:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Work(-1)
+
+    def test_scaled(self):
+        work = Work(1000, {HwEvent.ITLB_MISS: 10})
+        half = work.scaled(0.5)
+        assert half.cycles == 500
+        assert half.events[HwEvent.ITLB_MISS] == 5
+
+    def test_scaled_rounds(self):
+        work = Work(3, {HwEvent.ITLB_MISS: 3})
+        assert work.scaled(0.5).cycles == 2  # banker's rounding of 1.5
+
+    def test_plus_sums_cycles_and_events(self):
+        a = Work(100, {HwEvent.ITLB_MISS: 1, HwEvent.SEGMENT_LOADS: 2})
+        b = Work(200, {HwEvent.ITLB_MISS: 3})
+        c = a.plus(b)
+        assert c.cycles == 300
+        assert c.events[HwEvent.ITLB_MISS] == 4
+        assert c.events[HwEvent.SEGMENT_LOADS] == 2
+
+    def test_plus_does_not_mutate(self):
+        a = Work(100, {HwEvent.ITLB_MISS: 1})
+        b = Work(200, {HwEvent.ITLB_MISS: 3})
+        a.plus(b)
+        assert a.events[HwEvent.ITLB_MISS] == 1
+
+    def test_total(self):
+        parts = [Work(10), Work(20), Work(30, {HwEvent.DTLB_MISS: 5})]
+        total = Work.total(parts, label="sum")
+        assert total.cycles == 60
+        assert total.events[HwEvent.DTLB_MISS] == 5
+        assert total.label == "sum"
+
+    def test_from_mapping(self):
+        work = Work.from_mapping(50, {"itlb_miss": 2, "segment_loads": 7})
+        assert work.count(HwEvent.ITLB_MISS) == 2
+        assert work.count(HwEvent.SEGMENT_LOADS) == 7
+
+    def test_count_missing_is_zero(self):
+        assert Work(10).count(HwEvent.UNALIGNED_ACCESS) == 0
+
+    def test_repr_mentions_label(self):
+        assert "render" in repr(Work(5, label="render"))
+
+
+class TestHwEvent:
+    def test_all_paper_events_present(self):
+        names = {event.value for event in HwEvent}
+        assert {
+            "instructions",
+            "data_refs",
+            "itlb_miss",
+            "dtlb_miss",
+            "segment_loads",
+            "unaligned_access",
+            "interrupts",
+        } <= names
+
+    def test_string_enum(self):
+        assert str(HwEvent.ITLB_MISS) == "itlb_miss"
