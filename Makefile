@@ -1,0 +1,38 @@
+# Developer / CI entry points. All targets run from the repo root with
+# the in-tree sources (no install needed).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+SMOKE_OUT   := .smoke-out
+SMOKE_CACHE := .smoke-cache
+
+.PHONY: test benchmarks experiments experiments-smoke clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# The full paper reproduction (parallel, cached under ~/.cache/repro).
+experiments:
+	$(PYTHON) -m repro.experiments --save out/
+
+# CI gate: two cheap experiments through the parallel path with an
+# isolated cache, then validate the run manifest.
+experiments-smoke:
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+	$(PYTHON) -m repro.experiments fig1 fig4 --jobs 2 \
+		--save $(SMOKE_OUT) --cache-dir $(SMOKE_CACHE) --checks-only
+	$(PYTHON) -c "\
+	from repro.core.serialize import load_json, manifest_from_dict; \
+	m = manifest_from_dict(load_json('$(SMOKE_OUT)/manifest.json')); \
+	assert m['failures'] == 0, m; \
+	assert len(m['experiments']) == 2, m; \
+	print('smoke ok: %d runs, jobs=%d, code %s' % (len(m['experiments']), m['jobs'], m['code_version']))"
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+
+clean:
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

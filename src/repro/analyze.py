@@ -4,8 +4,8 @@
     repro-analyze profile.json --thresholds 100,110,120
     repro-analyze trace.json --windows 10
 
-Works on the JSON artifacts written by :mod:`repro.core.serialize` (and
-by ``repro-experiments --save``), so captured runs can be re-analysed —
+Works on the ``latency-profile`` and ``sample-trace`` JSON artifacts
+written by :mod:`repro.core.serialize`, so captured runs can be re-analysed —
 different thresholds, different bins, refresh adjustment — without
 re-simulating, the capture-once/analyse-many workflow of Section 5.
 """

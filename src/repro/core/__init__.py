@@ -65,9 +65,14 @@ from .refresh import (
 )
 from .report import TextTable, format_quantity
 from .samples import SampleTrace
+from .runcache import RunCache, code_version, default_cache_dir
 from .serialize import (
+    cache_entry_from_dict,
+    cache_entry_to_dict,
     experiment_to_dict,
     load_json,
+    manifest_from_dict,
+    manifest_to_dict,
     profile_from_dict,
     profile_to_dict,
     save_json,
@@ -140,7 +145,14 @@ __all__ = [
     "experiment_to_dict",
     "format_quantity",
     "grouped_bar_chart",
+    "RunCache",
+    "cache_entry_from_dict",
+    "cache_entry_to_dict",
+    "code_version",
+    "default_cache_dir",
     "load_json",
+    "manifest_from_dict",
+    "manifest_to_dict",
     "profile_from_dict",
     "profile_to_dict",
     "save_json",

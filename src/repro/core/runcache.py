@@ -1,0 +1,124 @@
+"""On-disk cache of experiment runs, keyed by code version.
+
+A full reproduction sweep re-runs ~22 deterministic experiments whose
+outputs depend only on ``(code, experiment_id, seed)`` — so once a run
+has happened, repeating it is pure waste.  This module stores each
+finished run as a JSON *cache entry* (rendered report, shape checks and
+the archival payload) under::
+
+    <cache-root>/<code-version>/<experiment_id>-seed<seed>.json
+
+``<code-version>`` is a content hash over every module of the installed
+``repro`` package, so any code change — a cost-model knob, a new
+extractor, a personality tweak — silently invalidates all prior entries
+without bookkeeping; stale trees are just never read again.  Entries
+are written atomically (temp file + :func:`os.replace`) so concurrent
+pool workers can share one cache directory safely.
+
+The cache is an optimisation only: a hit returns byte-identical
+artifacts to a fresh run (the determinism contract documented in
+:mod:`repro.experiments.registry`), and any unreadable or mismatched
+entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from .serialize import cache_entry_from_dict, load_json
+
+__all__ = ["RunCache", "code_version", "default_cache_dir"]
+
+_CODE_VERSION: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro`` (or ``~/.cache/repro``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "repro"
+
+
+def code_version() -> str:
+    """Content hash of every ``.py`` module in the ``repro`` package.
+
+    Computed once per process; 16 hex digits of SHA-256 over the sorted
+    (relative path, file bytes) sequence, so it is stable across
+    machines and invocations for identical source trees.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+class RunCache:
+    """One cache directory, pinned to one code version.
+
+    Instances hold only a path and a version string, so they pickle
+    cheaply into :class:`~concurrent.futures.ProcessPoolExecutor`
+    workers.  All I/O errors degrade to cache misses / skipped stores —
+    a read-only or missing cache directory never fails a run.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        version: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version or code_version()
+
+    def entry_path(self, experiment_id: str, seed: int) -> Path:
+        return self.root / self.version / f"{experiment_id}-seed{seed}.json"
+
+    def load(self, experiment_id: str, seed: int) -> Optional[dict]:
+        """Return the cached entry, or ``None`` on any kind of miss."""
+        try:
+            entry = cache_entry_from_dict(
+                load_json(self.entry_path(experiment_id, seed))
+            )
+        except (OSError, ValueError):
+            return None
+        if (
+            entry["experiment_id"] != experiment_id
+            or entry["seed"] != seed
+            or entry["code_version"] != self.version
+        ):
+            return None
+        return entry
+
+    def store(self, entry: dict) -> Optional[Path]:
+        """Atomically persist ``entry``; returns ``None`` if unwritable."""
+        path = self.entry_path(entry["experiment_id"], entry["seed"])
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps(entry, indent=2, sort_keys=True))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return None
+        return path

@@ -7,7 +7,11 @@ This module round-trips the library's data products through plain JSON:
 
 * :class:`~repro.core.samples.SampleTrace` (idle-loop traces),
 * :class:`~repro.core.latency.LatencyProfile` (extracted events),
-* experiment results (tables/figures/checks, for archival).
+* experiment results (tables/figures/checks, for archival),
+* run-cache entries (one finished experiment run, for
+  :class:`~repro.core.runcache.RunCache`),
+* run manifests (the full configuration and outcome of one sweep —
+  the repeatability record a measurement paper asks for).
 
 JSON keeps the artifacts diffable and tool-friendly; timestamps are
 integer nanoseconds, so round-trips are exact.
@@ -16,8 +20,10 @@ integer nanoseconds, so round-trips are exact.
 from __future__ import annotations
 
 import json
+import platform
+import time
 from pathlib import Path
-from typing import Union
+from typing import List, Optional, Union
 
 from .latency import LatencyEvent, LatencyProfile
 from .samples import SampleTrace
@@ -28,6 +34,10 @@ __all__ = [
     "profile_to_dict",
     "profile_from_dict",
     "experiment_to_dict",
+    "cache_entry_to_dict",
+    "cache_entry_from_dict",
+    "manifest_to_dict",
+    "manifest_from_dict",
     "save_json",
     "load_json",
 ]
@@ -103,6 +113,126 @@ def experiment_to_dict(result) -> dict:
             for c in result.checks
         ],
     }
+
+
+def cache_entry_to_dict(result, *, seed: int, wall_s: float, code_version: str) -> dict:
+    """Package one finished experiment run as a run-cache entry.
+
+    The entry carries everything the runner needs to *replay* the run
+    without executing it: the rendered terminal report, the shape-check
+    outcomes, and the archival payload (`experiment_to_dict`) that
+    ``--save`` writes.  Because experiments are deterministic in
+    ``(code, id, seed)``, serving this entry is observably identical to
+    re-running — byte-for-byte for the saved JSON.
+    """
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "run-cache-entry",
+        "experiment_id": result.id,
+        "seed": seed,
+        "code_version": code_version,
+        "wall_s": wall_s,
+        "rendered": result.render(),
+        "checks": [
+            {"name": c.name, "passed": c.passed, "detail": c.detail}
+            for c in result.checks
+        ],
+        "payload": experiment_to_dict(result),
+    }
+
+
+_CACHE_ENTRY_KEYS = (
+    "experiment_id",
+    "seed",
+    "code_version",
+    "wall_s",
+    "rendered",
+    "checks",
+    "payload",
+)
+
+
+def cache_entry_from_dict(data: dict) -> dict:
+    """Validate a run-cache entry loaded from disk."""
+    if data.get("kind") != "run-cache-entry":
+        raise ValueError(f"not a run-cache-entry payload: {data.get('kind')!r}")
+    missing = [key for key in _CACHE_ENTRY_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"run-cache entry missing keys: {', '.join(missing)}")
+    return data
+
+
+def manifest_to_dict(
+    runs: List[dict],
+    *,
+    jobs: int,
+    cache: dict,
+    code_version: str,
+    created_unix: Optional[float] = None,
+) -> dict:
+    """Build a run manifest: the repeatability record for one sweep.
+
+    ``runs`` is one dict per executed ``(experiment, seed)`` job with
+    keys ``id``, ``seed``, ``wall_s``, ``cache_hit``, ``failed_checks``
+    (list of check names), ``error`` (traceback text or ``None``) and
+    ``saved`` (archived filename or ``None``).  The manifest records,
+    alongside the results, everything needed to reproduce them: seeds,
+    code version, parallelism, cache configuration and the interpreter/
+    platform the sweep ran on.
+    """
+    ids: List[str] = []
+    seeds: List[int] = []
+    for run in runs:
+        if run["id"] not in ids:
+            ids.append(run["id"])
+        if run["seed"] not in seeds:
+            seeds.append(run["seed"])
+    failures = sum(len(run["failed_checks"]) for run in runs) + sum(
+        1 for run in runs if run.get("error")
+    )
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "run-manifest",
+        "created_unix": time.time() if created_unix is None else created_unix,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "code_version": code_version,
+        "jobs": jobs,
+        "cache": cache,
+        "ids": ids,
+        "seeds": seeds,
+        "experiments": runs,
+        "failures": failures,
+    }
+
+
+_MANIFEST_KEYS = (
+    "created_unix",
+    "python",
+    "platform",
+    "code_version",
+    "jobs",
+    "cache",
+    "ids",
+    "seeds",
+    "experiments",
+    "failures",
+)
+
+
+def manifest_from_dict(data: dict) -> dict:
+    """Validate a run manifest loaded from disk."""
+    if data.get("kind") != "run-manifest":
+        raise ValueError(f"not a run-manifest payload: {data.get('kind')!r}")
+    missing = [key for key in _MANIFEST_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"run manifest missing keys: {', '.join(missing)}")
+    for run in data["experiments"]:
+        for key in ("id", "seed", "wall_s", "cache_hit", "failed_checks"):
+            if key not in run:
+                raise ValueError(f"manifest experiment entry missing {key!r}")
+    return data
 
 
 def _jsonable(value):

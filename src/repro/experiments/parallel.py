@@ -1,0 +1,178 @@
+"""Parallel experiment execution: job fan-out, cache, manifests.
+
+The reproduction is naturally a *sweep*: every paper artifact is an
+independent ``(experiment_id, seed)`` job, so the runner can fan jobs
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` without
+changing any result — determinism is per-job (see
+:mod:`repro.experiments.registry`), not per-process.  The contract this
+module upholds:
+
+* **Byte identity.**  For fixed seeds, ``run_many(jobs=N)`` produces
+  per-job payloads byte-identical to the sequential ``jobs=1`` path —
+  parallelism and caching are pure scheduling, never semantics.
+* **Deterministic ordering.**  Results are always delivered in
+  id-major ``ids × seeds`` submission order, whatever order workers
+  finish in.
+* **No swallowed failures.**  A job that raises — in-process or inside
+  a pool worker, including a broken pool — comes back as a
+  :class:`JobResult` carrying the formatted traceback, so one bad
+  experiment neither kills the sweep nor hides from the exit code.
+
+:func:`execute_job` is the pool entry point; it is a module-level
+function taking picklable arguments (:class:`~repro.core.runcache.RunCache`
+pickles as a path + version string) as ``ProcessPoolExecutor`` requires.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.runcache import RunCache
+from ..core.serialize import cache_entry_to_dict, experiment_to_dict
+from .registry import run_experiment
+
+__all__ = ["JobResult", "execute_job", "run_many"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one ``(experiment_id, seed)`` job.
+
+    Exactly one of two shapes: a completed run (``error is None``;
+    ``rendered``/``checks``/``payload`` populated, from the cache or a
+    fresh execution) or a raised one (``error`` holds the formatted
+    traceback and the artifacts are empty).
+    """
+
+    experiment_id: str
+    seed: int
+    wall_s: float = 0.0
+    cache_hit: bool = False
+    rendered: str = ""
+    checks: List[dict] = field(default_factory=list)
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+
+    def failed_checks(self) -> List[str]:
+        return [c["name"] for c in self.checks if not c["passed"]]
+
+    @property
+    def failures(self) -> int:
+        """Failed shape checks, plus one if the job itself raised."""
+        return len(self.failed_checks()) + (1 if self.error else 0)
+
+
+def execute_job(
+    experiment_id: str,
+    seed: int,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+) -> JobResult:
+    """Run one job, consulting and feeding the cache.
+
+    Cache discipline: a valid entry for ``(id, seed, code_version)``
+    is served directly unless ``refresh`` forces re-execution; a fresh
+    run (re)writes its entry.  Any exception from the experiment is
+    captured into ``JobResult.error`` rather than propagated, so pool
+    workers always return a result.
+    """
+    started = time.perf_counter()
+    if cache is not None and not refresh:
+        entry = cache.load(experiment_id, seed)
+        if entry is not None:
+            return JobResult(
+                experiment_id=experiment_id,
+                seed=seed,
+                wall_s=time.perf_counter() - started,
+                cache_hit=True,
+                rendered=entry["rendered"],
+                checks=entry["checks"],
+                payload=entry["payload"],
+            )
+    try:
+        result = run_experiment(experiment_id, seed=seed)
+    except Exception:
+        return JobResult(
+            experiment_id=experiment_id,
+            seed=seed,
+            wall_s=time.perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+    wall = time.perf_counter() - started
+    if cache is not None:
+        cache.store(
+            cache_entry_to_dict(
+                result, seed=seed, wall_s=wall, code_version=cache.version
+            )
+        )
+    return JobResult(
+        experiment_id=experiment_id,
+        seed=seed,
+        wall_s=wall,
+        cache_hit=False,
+        rendered=result.render(),
+        checks=[
+            {"name": c.name, "passed": c.passed, "detail": c.detail}
+            for c in result.checks
+        ],
+        payload=experiment_to_dict(result),
+    )
+
+
+def run_many(
+    ids: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+) -> List[JobResult]:
+    """Execute the ``ids × seeds`` sweep and return ordered results.
+
+    ``jobs`` is the worker count (default ``os.cpu_count()``, clamped
+    to the number of jobs; ``1`` runs everything sequentially in this
+    process).  ``on_result`` is invoked once per job in submission
+    order — under a pool, as soon as each next-in-order job finishes —
+    which is how the CLI streams reports while later jobs still run.
+    """
+    specs = [(experiment_id, seed) for experiment_id in ids for seed in seeds]
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(specs) or 1))
+
+    results: List[JobResult] = []
+    if jobs == 1:
+        for experiment_id, seed in specs:
+            job = execute_job(experiment_id, seed, cache=cache, refresh=refresh)
+            if on_result is not None:
+                on_result(job)
+            results.append(job)
+        return results
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(execute_job, experiment_id, seed, cache, refresh)
+            for experiment_id, seed in specs
+        ]
+        for (experiment_id, seed), future in zip(specs, futures):
+            try:
+                job = future.result()
+            except Exception:
+                # The worker process died (OOM, BrokenProcessPool, an
+                # unpicklable result) before execute_job could report —
+                # surface that as a per-job failure, not a lost sweep.
+                job = JobResult(
+                    experiment_id=experiment_id,
+                    seed=seed,
+                    error=traceback.format_exc(),
+                )
+            if on_result is not None:
+                on_result(job)
+            results.append(job)
+    return results

@@ -1,23 +1,52 @@
 """Command-line experiment runner.
 
-    python -m repro.experiments            # run everything
+    python -m repro.experiments                  # run everything, cached
     python -m repro.experiments fig7 table1
     repro-experiments --list
+    repro-experiments --jobs 4 --save out/       # parallel sweep + manifest
+    repro-experiments --seed 0,1,2 --no-cache    # seed sweep, forced re-run
+
+See ``docs/running-experiments.md`` for the full CLI reference.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
-from typing import List
+from pathlib import Path
+from typing import List, Optional
 
-from .registry import EXPERIMENTS, TITLES, run_experiment
+from ..core.runcache import RunCache, code_version
+from ..core.serialize import manifest_to_dict, save_json
+from .parallel import JobResult, run_many
+from .registry import EXPERIMENTS, TITLES
 
 __all__ = ["main"]
 
 
-def main(argv: List[str] = None) -> int:
+def _parse_seeds(text: str) -> List[int]:
+    """``"0,1,2"`` → ``[0, 1, 2]`` (order kept, duplicates dropped)."""
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        seed = int(part)
+        if seed not in seeds:
+            seeds.append(seed)
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return seeds
+
+
+def _format_check(check: dict) -> str:
+    status = "PASS" if check["passed"] else "FAIL"
+    detail = f" — {check['detail']}" if check["detail"] else ""
+    return f"[{status}] {check['name']}{detail}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -30,7 +59,12 @@ def main(argv: List[str] = None) -> int:
         nargs="*",
         help="experiment ids to run (default: all)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--seed",
+        default="0",
+        metavar="N[,N...]",
+        help="master RNG seed(s), comma-separated (default: 0)",
+    )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
@@ -43,7 +77,39 @@ def main(argv: List[str] = None) -> int:
         "--save",
         metavar="DIR",
         default=None,
-        help="archive each experiment's full result as JSON into DIR",
+        help=(
+            "archive each experiment's full result as JSON into DIR, plus a "
+            "manifest.json describing the whole run"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the sweep (default: CPU count; 1 runs "
+            "sequentially in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result-cache directory (default: $XDG_CACHE_HOME/repro or "
+            "~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-run every experiment, updating its cache entry",
     )
     args = parser.parse_args(argv)
 
@@ -52,42 +118,99 @@ def main(argv: List[str] = None) -> int:
             print(f"{experiment_id:16s} {title}")
         return 0
 
+    try:
+        seeds = _parse_seeds(args.seed)
+    except ValueError:
+        print(f"invalid --seed value: {args.seed!r}", file=sys.stderr)
+        return 2
+
     ids = args.ids or list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    save_dir = None
-    if args.save:
-        from pathlib import Path
+    cache: Optional[RunCache] = None
+    if not args.no_cache:
+        cache = RunCache(args.cache_dir)
 
+    save_dir: Optional[Path] = None
+    if args.save:
         save_dir = Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
 
-    failures = 0
-    for experiment_id in ids:
-        started = time.time()
-        result = run_experiment(experiment_id, seed=args.seed)
-        wall = time.time() - started
-        if save_dir is not None:
-            from ..core.serialize import experiment_to_dict, save_json
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    jobs = max(1, min(jobs, len(ids) * len(seeds)))
 
-            save_json(
-                experiment_to_dict(result),
-                save_dir / f"{experiment_id}-seed{args.seed}.json",
+    saved: dict = {}
+    seed_tag = len(seeds) > 1
+
+    def report(job: JobResult) -> None:
+        tag = f" (seed {job.seed})" if seed_tag else ""
+        if job.error is not None:
+            print(
+                f"=== {job.experiment_id}{tag}: ERROR ===", file=sys.stderr
             )
-        if args.checks_only:
-            print(f"=== {result.id}: {result.title} ({wall:.1f}s) ===")
-            for check in result.checks:
-                print(f"  {check}")
+            print(job.error, file=sys.stderr)
+        elif args.checks_only:
+            cached = ", cached" if job.cache_hit else ""
+            title = TITLES[job.experiment_id]
+            print(
+                f"=== {job.experiment_id}{tag}: {title} "
+                f"({job.wall_s:.1f}s{cached}) ==="
+            )
+            for check in job.checks:
+                print(f"  {_format_check(check)}")
         else:
-            print(result.render())
-            print(f"(wall time {wall:.1f}s)")
+            print(job.rendered)
+            cached = ", cached" if job.cache_hit else ""
+            print(f"(wall time {job.wall_s:.1f}s{cached}){tag}")
         print()
-        failures += len(result.failed_checks())
-    if failures:
-        print(f"{failures} shape check(s) FAILED", file=sys.stderr)
+        if save_dir is not None and job.payload is not None:
+            filename = f"{job.experiment_id}-seed{job.seed}.json"
+            save_json(job.payload, save_dir / filename)
+            saved[(job.experiment_id, job.seed)] = filename
+
+    results = run_many(
+        ids,
+        seeds,
+        jobs=jobs,
+        cache=cache,
+        refresh=args.refresh,
+        on_result=report,
+    )
+
+    if save_dir is not None:
+        manifest = manifest_to_dict(
+            [
+                {
+                    "id": job.experiment_id,
+                    "seed": job.seed,
+                    "wall_s": job.wall_s,
+                    "cache_hit": job.cache_hit,
+                    "failed_checks": job.failed_checks(),
+                    "error": job.error,
+                    "saved": saved.get((job.experiment_id, job.seed)),
+                }
+                for job in results
+            ],
+            jobs=jobs,
+            cache={
+                "enabled": cache is not None,
+                "dir": str(cache.root) if cache is not None else None,
+                "refresh": args.refresh,
+            },
+            code_version=cache.version if cache is not None else code_version(),
+        )
+        save_json(manifest, save_dir / "manifest.json")
+
+    errors = sum(1 for job in results if job.error is not None)
+    check_failures = sum(len(job.failed_checks()) for job in results)
+    if errors:
+        print(f"{errors} experiment(s) raised", file=sys.stderr)
+    if check_failures:
+        print(f"{check_failures} shape check(s) FAILED", file=sys.stderr)
+    if errors or check_failures:
         return 1
     print("all shape checks passed")
     return 0

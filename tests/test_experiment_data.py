@@ -56,10 +56,13 @@ class TestRunnerSave:
 
         code = main(["fig1", "--checks-only", "--save", str(tmp_path)])
         assert code == 0
-        saved = list(tmp_path.glob("*.json"))
-        assert len(saved) == 1
+        names = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert names == ["fig1-seed0.json", "manifest.json"]
         import json
 
-        payload = json.loads(saved[0].read_text())
+        payload = json.loads((tmp_path / "fig1-seed0.json").read_text())
         assert payload["id"] == "fig1"
         assert all(check["passed"] for check in payload["checks"])
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["kind"] == "run-manifest"
+        assert manifest["failures"] == 0
