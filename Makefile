@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 SMOKE_OUT   := .smoke-out
 SMOKE_CACHE := .smoke-cache
 
-.PHONY: test benchmarks experiments experiments-smoke clean
+.PHONY: test benchmarks experiments experiments-smoke faults-smoke clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,32 @@ experiments-smoke:
 	assert m['failures'] == 0, m; \
 	assert len(m['experiments']) == 2, m; \
 	print('smoke ok: %d runs, jobs=%d, code %s' % (len(m['experiments']), m['jobs'], m['code_version']))"
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+
+# CI gate for the fault-injection subsystem: the tiny 'smoke' plan on
+# one OS must inject faults and be byte-reproducible, and an archived
+# ext-faults run must record its injected-fault counts in the manifest.
+faults-smoke:
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+	$(PYTHON) -c "\
+	import json; \
+	from repro.experiments import ext_faults; \
+	runs = [ext_faults.run(seed=0, chars=10, scenario='smoke', os_names=('nt40',)) for _ in range(2)]; \
+	blobs = [json.dumps(r.data, sort_keys=True) for r in runs]; \
+	assert blobs[0] == blobs[1], 'smoke plan not byte-reproducible'; \
+	total = runs[0].data['injected_faults']['total']; \
+	assert total > 0, runs[0].data['injected_faults']; \
+	print('faults smoke ok: %d injections, reproducible' % total)"
+	$(PYTHON) -m repro.experiments ext-faults --jobs 1 \
+		--save $(SMOKE_OUT) --cache-dir $(SMOKE_CACHE) --checks-only
+	$(PYTHON) -c "\
+	from repro.core.serialize import load_json, manifest_from_dict; \
+	m = manifest_from_dict(load_json('$(SMOKE_OUT)/manifest.json')); \
+	assert m['failures'] == 0, m; \
+	(entry,) = m['experiments']; \
+	assert entry['faults']['total'] > 0, entry; \
+	print('faults manifest ok: %d injections across %s' % \
+	      (entry['faults']['total'], sorted(entry['faults']['by_os'])))"
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
 
 clean:

@@ -89,20 +89,41 @@ class RunCache:
         return self.root / self.version / f"{experiment_id}-seed{seed}.json"
 
     def load(self, experiment_id: str, seed: int) -> Optional[dict]:
-        """Return the cached entry, or ``None`` on any kind of miss."""
+        """Return the cached entry, or ``None`` on any kind of miss.
+
+        A corrupt or truncated entry — invalid JSON, a non-entry
+        payload, missing keys, or content disagreeing with its own
+        path — is a miss *and is evicted*, so a file mangled by a
+        killed writer or a disk-full event cannot shadow the slot
+        forever: the next run re-executes and rewrites it atomically.
+        """
+        path = self.entry_path(experiment_id, seed)
         try:
-            entry = cache_entry_from_dict(
-                load_json(self.entry_path(experiment_id, seed))
-            )
-        except (OSError, ValueError):
+            entry = cache_entry_from_dict(load_json(path))
+        except OSError:
+            return None  # unreadable/absent: nothing to evict
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._evict(path)
             return None
         if (
             entry["experiment_id"] != experiment_id
             or entry["seed"] != seed
             or entry["code_version"] != self.version
         ):
+            # The file's content contradicts the path it sits under
+            # (entries live in a per-version directory, named by id and
+            # seed) — that is corruption, not staleness.
+            self._evict(path)
             return None
         return entry
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Best-effort removal of a corrupt entry (never raises)."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def store(self, entry: dict) -> Optional[Path]:
         """Atomically persist ``entry``; returns ``None`` if unwritable."""

@@ -11,12 +11,18 @@ module upholds:
   per-job payloads byte-identical to the sequential ``jobs=1`` path —
   parallelism and caching are pure scheduling, never semantics.
 * **Deterministic ordering.**  Results are always delivered in
-  id-major ``ids × seeds`` submission order, whatever order workers
-  finish in.
-* **No swallowed failures.**  A job that raises — in-process or inside
-  a pool worker, including a broken pool — comes back as a
-  :class:`JobResult` carrying the formatted traceback, so one bad
-  experiment neither kills the sweep nor hides from the exit code.
+  submission order, whatever order workers finish in.
+* **No swallowed failures.**  A job that raises, hangs past the
+  watchdog, or loses its worker comes back as a :class:`JobResult`
+  carrying the formatted traceback and a ``failure_kind``
+  classification, so one bad experiment neither kills the sweep nor
+  hides from the exit code.
+* **No lost sweeps.**  A per-job wall-clock ``timeout_s`` watchdog
+  bounds hangs (``future.result(timeout)`` under a pool, a ``SIGALRM``
+  timer sequentially); transient pool failures are retried with
+  exponential backoff on a fresh pool; Ctrl-C cancels outstanding work
+  and raises :class:`SweepInterrupted` carrying every result completed
+  so far, so the caller can still write its manifest.
 
 :func:`execute_job` is the pool entry point; it is a module-level
 function taking picklable arguments (:class:`~repro.core.runcache.RunCache`
@@ -26,17 +32,52 @@ pickles as a path + version string) as ``ProcessPoolExecutor`` requires.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.runcache import RunCache
 from ..core.serialize import cache_entry_to_dict, experiment_to_dict
 from .registry import run_experiment
 
-__all__ = ["JobResult", "execute_job", "run_many"]
+__all__ = [
+    "JobResult",
+    "SweepInterrupted",
+    "execute_job",
+    "run_many",
+    "run_specs",
+]
+
+#: ``JobResult.failure_kind`` values, and what each means for a sweep:
+#: ``"error"`` — the experiment itself raised (deterministic; never
+#: retried), ``"timeout"`` — the watchdog expired while the job ran
+#: (treated as deterministic; not retried), ``"pool"`` — the worker or
+#: pool failed before the job could report (transient; retried),
+#: ``"interrupted"`` — the sweep was cancelled before the job finished.
+FAILURE_KINDS = ("error", "timeout", "pool", "interrupted")
+
+
+class _JobTimeout(BaseException):
+    """Sequential-watchdog alarm.
+
+    Derives from ``BaseException`` so it escapes ``execute_job``'s
+    ``except Exception`` capture and unwinds the hung experiment.
+    """
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a sweep; ``results`` holds one entry per submitted
+    spec — completed jobs as-is, unfinished ones as ``"interrupted"``
+    failure records — so callers can persist what finished."""
+
+    def __init__(self, results: List["JobResult"]) -> None:
+        super().__init__("experiment sweep interrupted")
+        self.results = results
 
 
 @dataclass
@@ -45,8 +86,10 @@ class JobResult:
 
     Exactly one of two shapes: a completed run (``error is None``;
     ``rendered``/``checks``/``payload`` populated, from the cache or a
-    fresh execution) or a raised one (``error`` holds the formatted
-    traceback and the artifacts are empty).
+    fresh execution) or a failed one (``error`` holds the formatted
+    traceback or watchdog message, ``failure_kind`` classifies it, and
+    the artifacts are empty).  ``attempts`` counts executions including
+    retries of transient pool failures.
     """
 
     experiment_id: str
@@ -57,13 +100,15 @@ class JobResult:
     checks: List[dict] = field(default_factory=list)
     payload: Optional[dict] = None
     error: Optional[str] = None
+    failure_kind: Optional[str] = None
+    attempts: int = 1
 
     def failed_checks(self) -> List[str]:
         return [c["name"] for c in self.checks if not c["passed"]]
 
     @property
     def failures(self) -> int:
-        """Failed shape checks, plus one if the job itself raised."""
+        """Failed shape checks, plus one if the job itself failed."""
         return len(self.failed_checks()) + (1 if self.error else 0)
 
 
@@ -102,6 +147,7 @@ def execute_job(
             seed=seed,
             wall_s=time.perf_counter() - started,
             error=traceback.format_exc(),
+            failure_kind="error",
         )
     wall = time.perf_counter() - started
     if cache is not None:
@@ -124,45 +170,131 @@ def execute_job(
     )
 
 
-def run_many(
-    ids: Sequence[str],
-    seeds: Sequence[int],
-    *,
-    jobs: Optional[int] = None,
-    cache: Optional[RunCache] = None,
-    refresh: bool = False,
-    on_result: Optional[Callable[[JobResult], None]] = None,
-) -> List[JobResult]:
-    """Execute the ``ids × seeds`` sweep and return ordered results.
+def _hard_shutdown(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without joining hung workers.
 
-    ``jobs`` is the worker count (default ``os.cpu_count()``, clamped
-    to the number of jobs; ``1`` runs everything sequentially in this
-    process).  ``on_result`` is invoked once per job in submission
-    order — under a pool, as soon as each next-in-order job finishes —
-    which is how the CLI streams reports while later jobs still run.
+    ``shutdown(wait=True)`` (and the context-manager exit) would block
+    forever behind a worker stuck in a hung experiment, so after a
+    watchdog expiry or Ctrl-C the workers are terminated outright.
     """
-    specs = [(experiment_id, seed) for experiment_id in ids for seed in seeds]
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, len(specs) or 1))
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = dict(getattr(pool, "_processes", None) or {})
+    for process in processes.values():
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes.values():
+        try:
+            process.join(timeout=1.0)
+        except Exception:
+            pass
 
-    results: List[JobResult] = []
-    if jobs == 1:
-        for experiment_id, seed in specs:
+
+def _sequential_round(
+    indexed_specs: List[Tuple[int, Tuple[str, int]]],
+    cache: Optional[RunCache],
+    refresh: bool,
+    timeout_s: Optional[float],
+    resolve: Callable[[int, JobResult], None],
+) -> None:
+    """Run a round in-process, with a SIGALRM watchdog when available.
+
+    The alarm is the only way to bound a hung experiment without a
+    worker process to kill; where it cannot be armed (no SIGALRM on the
+    platform, or not on the main thread) sequential jobs run unbounded,
+    exactly as before.
+    """
+    use_alarm = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+    def _on_alarm(signum, frame):
+        raise _JobTimeout()
+
+    for index, (experiment_id, seed) in indexed_specs:
+        previous = None
+        if use_alarm:
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        started = time.perf_counter()
+        try:
             job = execute_job(experiment_id, seed, cache=cache, refresh=refresh)
-            if on_result is not None:
-                on_result(job)
-            results.append(job)
-        return results
+        except _JobTimeout:
+            job = JobResult(
+                experiment_id=experiment_id,
+                seed=seed,
+                wall_s=time.perf_counter() - started,
+                error=(
+                    f"watchdog: {experiment_id} (seed {seed}) exceeded "
+                    f"{timeout_s:.1f}s and was abandoned"
+                ),
+                failure_kind="timeout",
+            )
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous)
+        resolve(index, job)
 
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+
+def _pool_round(
+    indexed_specs: List[Tuple[int, Tuple[str, int]]],
+    jobs: int,
+    cache: Optional[RunCache],
+    refresh: bool,
+    timeout_s: Optional[float],
+    resolve: Callable[[int, JobResult], None],
+) -> None:
+    """Run a round on a fresh process pool, watchdogging each future.
+
+    Futures are awaited in submission order; each gets at least
+    ``timeout_s`` of wall clock since submission before being declared
+    dead.  A timed-out future that *cancels* never started (its worker
+    was occupied — a pool-level stall, retryable); one that refuses
+    cancellation is genuinely running, is classified ``"timeout"``, and
+    its worker is terminated with the pool at round end.
+    """
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    hung = False
+    try:
         futures = [
             pool.submit(execute_job, experiment_id, seed, cache, refresh)
-            for experiment_id, seed in specs
+            for _index, (experiment_id, seed) in indexed_specs
         ]
-        for (experiment_id, seed), future in zip(specs, futures):
+        for (index, (experiment_id, seed)), future in zip(indexed_specs, futures):
             try:
-                job = future.result()
+                if timeout_s is None:
+                    job = future.result()
+                else:
+                    job = future.result(timeout_s)
+            except FutureTimeoutError:
+                if future.cancel():
+                    job = JobResult(
+                        experiment_id=experiment_id,
+                        seed=seed,
+                        error=(
+                            f"pool stall: {experiment_id} (seed {seed}) never "
+                            f"started within {timeout_s:.1f}s (workers occupied)"
+                        ),
+                        failure_kind="pool",
+                    )
+                else:
+                    hung = True
+                    job = JobResult(
+                        experiment_id=experiment_id,
+                        seed=seed,
+                        wall_s=float(timeout_s),
+                        error=(
+                            f"watchdog: {experiment_id} (seed {seed}) exceeded "
+                            f"{timeout_s:.1f}s in a worker; worker terminated"
+                        ),
+                        failure_kind="timeout",
+                    )
+            except KeyboardInterrupt:
+                raise
             except Exception:
                 # The worker process died (OOM, BrokenProcessPool, an
                 # unpicklable result) before execute_job could report —
@@ -171,8 +303,143 @@ def run_many(
                     experiment_id=experiment_id,
                     seed=seed,
                     error=traceback.format_exc(),
+                    failure_kind="pool",
                 )
+            resolve(index, job)
+    except BaseException:
+        _hard_shutdown(pool)
+        raise
+    if hung:
+        _hard_shutdown(pool)
+    else:
+        pool.shutdown(wait=True)
+
+
+def run_specs(
+    specs: Sequence[Tuple[str, int]],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 1.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> List[JobResult]:
+    """Execute an explicit ``(experiment_id, seed)`` job list.
+
+    This is :func:`run_many` without the cross-product construction —
+    what ``--resume`` needs, since the jobs left over from a partial
+    sweep are rarely a full ``ids × seeds`` rectangle.
+
+    ``timeout_s`` is the per-job wall-clock watchdog; ``retries`` is
+    how many extra rounds transient (``failure_kind == "pool"``)
+    failures get, on a fresh pool, after ``backoff_s * 2**(round-1)``
+    seconds of backoff (``sleep`` is injectable for tests).  Results
+    are returned — and ``on_result`` streamed — in submission order;
+    a job awaiting retry holds back delivery of later results so the
+    order never lies.
+
+    Raises :class:`SweepInterrupted` on Ctrl-C, after cancelling
+    outstanding work; the exception carries the full results list with
+    unfinished jobs marked ``failure_kind="interrupted"``.
+    """
+    specs = list(specs)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(specs) or 1))
+
+    results: List[Optional[JobResult]] = [None] * len(specs)
+    final: List[bool] = [False] * len(specs)
+    delivered = 0
+
+    def flush() -> None:
+        nonlocal delivered
+        while delivered < len(specs) and final[delivered]:
             if on_result is not None:
-                on_result(job)
-            results.append(job)
-    return results
+                on_result(results[delivered])
+            delivered += 1
+
+    try:
+        for attempt in range(retries + 1):
+            pending = [i for i in range(len(specs)) if not final[i]]
+            if not pending:
+                break
+            if attempt:
+                sleep(backoff_s * 2 ** (attempt - 1))
+            retry_allowed = attempt < retries
+
+            def resolve(index: int, job: JobResult, _attempt=attempt,
+                        _retry_allowed=retry_allowed) -> None:
+                job.attempts = _attempt + 1
+                results[index] = job
+                final[index] = not (
+                    job.failure_kind == "pool" and _retry_allowed
+                )
+                flush()
+
+            indexed = [(i, specs[i]) for i in pending]
+            if jobs == 1:
+                _sequential_round(indexed, cache, refresh, timeout_s, resolve)
+            else:
+                _pool_round(
+                    indexed,
+                    min(jobs, len(indexed)),
+                    cache,
+                    refresh,
+                    timeout_s,
+                    resolve,
+                )
+    except KeyboardInterrupt:
+        snapshot: List[JobResult] = []
+        for index, (experiment_id, seed) in enumerate(specs):
+            job = results[index]
+            if job is None:
+                job = JobResult(
+                    experiment_id=experiment_id,
+                    seed=seed,
+                    error="interrupted (Ctrl-C) before this job finished",
+                    failure_kind="interrupted",
+                )
+            snapshot.append(job)
+        raise SweepInterrupted(snapshot) from None
+
+    return list(results)
+
+
+def run_many(
+    ids: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+    on_result: Optional[Callable[[JobResult], None]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 1.0,
+    sleep: Callable[[float], None] = time.sleep,
+) -> List[JobResult]:
+    """Execute the ``ids × seeds`` sweep and return ordered results.
+
+    ``jobs`` is the worker count (default ``os.cpu_count()``, clamped
+    to the number of jobs; ``1`` runs everything sequentially in this
+    process).  ``on_result`` is invoked once per job in submission
+    order — under a pool, as soon as each next-in-order job finishes —
+    which is how the CLI streams reports while later jobs still run.
+    Hardening knobs (``timeout_s``/``retries``/``backoff_s``) are
+    documented on :func:`run_specs`, which this wraps.
+    """
+    specs = [(experiment_id, seed) for experiment_id in ids for seed in seeds]
+    return run_specs(
+        specs,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        on_result=on_result,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        sleep=sleep,
+    )

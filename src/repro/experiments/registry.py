@@ -28,6 +28,7 @@ from . import (
     ablation_idle_n,
     ablation_merge,
     ext_decompose,
+    ext_faults,
     ext_network,
     ext_refresh,
     fig01_validation,
@@ -76,6 +77,7 @@ _MODULES = [
     ext_refresh,
     ext_network,
     ext_decompose,
+    ext_faults,
 ]
 
 #: id -> ``run(seed=...)`` callable, in the paper's presentation order.

@@ -5,6 +5,8 @@
     repro-experiments --list
     repro-experiments --jobs 4 --save out/       # parallel sweep + manifest
     repro-experiments --seed 0,1,2 --no-cache    # seed sweep, forced re-run
+    repro-experiments --timeout 120 --retries 2  # hardened long sweep
+    repro-experiments --resume out/manifest.json # re-run only missing/failed
 
 See ``docs/running-experiments.md`` for the full CLI reference.
 """
@@ -15,14 +17,17 @@ import argparse
 import os
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.runcache import RunCache, code_version
-from ..core.serialize import manifest_to_dict, save_json
-from .parallel import JobResult, run_many
+from ..core.serialize import load_json, manifest_from_dict, manifest_to_dict, save_json
+from .parallel import JobResult, SweepInterrupted, run_specs
 from .registry import EXPERIMENTS, TITLES
 
 __all__ = ["main"]
+
+#: Exit code for an interrupted sweep (shell convention: 128 + SIGINT).
+EXIT_INTERRUPTED = 130
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -46,6 +51,38 @@ def _format_check(check: dict) -> str:
     return f"[{status}] {check['name']}{detail}"
 
 
+def _job_completed(entry: dict, save_dir: Path) -> bool:
+    """A manifest entry needs no re-run: it finished, and its archive
+    (when one was recorded) is still on disk."""
+    if entry.get("error") is not None:
+        return False
+    saved = entry.get("saved")
+    if saved is not None and not (save_dir / saved).exists():
+        return False
+    return True
+
+
+def _entry_from_job(job: JobResult, saved: Optional[str]) -> dict:
+    entry = {
+        "id": job.experiment_id,
+        "seed": job.seed,
+        "wall_s": job.wall_s,
+        "cache_hit": job.cache_hit,
+        "failed_checks": job.failed_checks(),
+        "error": job.error,
+        "failure_kind": job.failure_kind,
+        "attempts": job.attempts,
+        "resumed": False,
+        "saved": saved,
+    }
+    # Surface injected-fault evidence (ext-faults) into the sweep
+    # record, so a manifest alone shows what degradation ran.
+    data = (job.payload or {}).get("data") or {}
+    if isinstance(data, dict) and "injected_faults" in data:
+        entry["faults"] = data["injected_faults"]
+    return entry
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -61,7 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--seed",
-        default="0",
+        default=None,
         metavar="N[,N...]",
         help="master RNG seed(s), comma-separated (default: 0)",
     )
@@ -111,6 +148,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="re-run every experiment, updating its cache entry",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-experiment wall-clock watchdog; a job running longer is "
+            "recorded as a timeout failure instead of hanging the sweep"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "extra rounds for transient pool failures (lost workers), on a "
+            "fresh pool with exponential backoff (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="base retry backoff; round k waits backoff * 2**(k-1) (default: 1)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        default=None,
+        help=(
+            "path to a previous sweep's manifest.json (or its directory); "
+            "re-runs only the jobs that failed or are missing, preserving "
+            "completed results, and writes a merged manifest"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -118,13 +192,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{experiment_id:16s} {title}")
         return 0
 
-    try:
-        seeds = _parse_seeds(args.seed)
-    except ValueError:
-        print(f"invalid --seed value: {args.seed!r}", file=sys.stderr)
+    if args.retries < 0:
+        print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
         return 2
 
-    ids = args.ids or list(EXPERIMENTS)
+    resume_manifest: Optional[dict] = None
+    resume_dir: Optional[Path] = None
+    if args.resume:
+        manifest_path = Path(args.resume)
+        if manifest_path.is_dir():
+            manifest_path = manifest_path / "manifest.json"
+        try:
+            resume_manifest = manifest_from_dict(load_json(manifest_path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot resume from {manifest_path}: {exc}", file=sys.stderr)
+            return 2
+        resume_dir = manifest_path.parent
+
+    if args.seed is not None:
+        try:
+            seeds = _parse_seeds(args.seed)
+        except ValueError:
+            print(f"invalid --seed value: {args.seed!r}", file=sys.stderr)
+            return 2
+    elif resume_manifest is not None:
+        seeds = [int(seed) for seed in resume_manifest["seeds"]]
+    else:
+        seeds = [0]
+
+    if args.ids:
+        ids = args.ids
+    elif resume_manifest is not None:
+        ids = list(resume_manifest["ids"])
+    else:
+        ids = list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
@@ -137,10 +241,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     save_dir: Optional[Path] = None
     if args.save:
         save_dir = Path(args.save)
+    elif resume_dir is not None:
+        # Resumed archives belong next to the manifest they complete.
+        save_dir = resume_dir
+    if save_dir is not None:
         save_dir.mkdir(parents=True, exist_ok=True)
 
+    # Which (id, seed) jobs actually need running?  Without --resume:
+    # all of them.  With it: only those the old manifest lacks or
+    # records as failed; the rest are preserved verbatim.
+    all_specs = [(experiment_id, seed) for experiment_id in ids for seed in seeds]
+    preserved: Dict[Tuple[str, int], dict] = {}
+    if resume_manifest is not None:
+        for entry in resume_manifest["experiments"]:
+            key = (entry["id"], int(entry["seed"]))
+            if key in all_specs and _job_completed(entry, resume_dir):
+                kept = dict(entry)
+                kept["resumed"] = True
+                preserved[key] = kept
+    specs = [spec for spec in all_specs if spec not in preserved]
+    if resume_manifest is not None:
+        print(
+            f"resuming: {len(preserved)} job(s) preserved, "
+            f"{len(specs)} to run",
+            file=sys.stderr,
+        )
+
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
-    jobs = max(1, min(jobs, len(ids) * len(seeds)))
+    jobs = max(1, min(jobs, len(specs) or 1))
 
     saved: dict = {}
     seed_tag = len(seeds) > 1
@@ -148,8 +276,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     def report(job: JobResult) -> None:
         tag = f" (seed {job.seed})" if seed_tag else ""
         if job.error is not None:
+            kind = f" [{job.failure_kind}]" if job.failure_kind else ""
             print(
-                f"=== {job.experiment_id}{tag}: ERROR ===", file=sys.stderr
+                f"=== {job.experiment_id}{tag}: ERROR{kind} ===", file=sys.stderr
             )
             print(job.error, file=sys.stderr)
         elif args.checks_only:
@@ -171,29 +300,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             save_json(job.payload, save_dir / filename)
             saved[(job.experiment_id, job.seed)] = filename
 
-    results = run_many(
-        ids,
-        seeds,
-        jobs=jobs,
-        cache=cache,
-        refresh=args.refresh,
-        on_result=report,
-    )
+    interrupted = False
+    try:
+        results = run_specs(
+            specs,
+            jobs=jobs,
+            cache=cache,
+            refresh=args.refresh,
+            on_result=report,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            backoff_s=args.backoff,
+        )
+    except SweepInterrupted as exc:
+        # Ctrl-C: outstanding jobs were cancelled; keep what finished
+        # so the manifest below still records the partial sweep.
+        interrupted = True
+        results = exc.results
+        print("sweep interrupted; writing partial manifest", file=sys.stderr)
+
+    by_spec: Dict[Tuple[str, int], JobResult] = {
+        (job.experiment_id, job.seed): job for job in results
+    }
+    entries: List[dict] = []
+    for spec in all_specs:
+        if spec in preserved:
+            entries.append(preserved[spec])
+        elif spec in by_spec:
+            job = by_spec[spec]
+            entries.append(_entry_from_job(job, saved.get(spec)))
 
     if save_dir is not None:
         manifest = manifest_to_dict(
-            [
-                {
-                    "id": job.experiment_id,
-                    "seed": job.seed,
-                    "wall_s": job.wall_s,
-                    "cache_hit": job.cache_hit,
-                    "failed_checks": job.failed_checks(),
-                    "error": job.error,
-                    "saved": saved.get((job.experiment_id, job.seed)),
-                }
-                for job in results
-            ],
+            entries,
             jobs=jobs,
             cache={
                 "enabled": cache is not None,
@@ -202,14 +341,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             },
             code_version=cache.version if cache is not None else code_version(),
         )
+        if interrupted:
+            manifest["interrupted"] = True
         save_json(manifest, save_dir / "manifest.json")
 
-    errors = sum(1 for job in results if job.error is not None)
-    check_failures = sum(len(job.failed_checks()) for job in results)
+    errors = sum(1 for entry in entries if entry.get("error") is not None)
+    check_failures = sum(len(entry["failed_checks"]) for entry in entries)
     if errors:
-        print(f"{errors} experiment(s) raised", file=sys.stderr)
+        print(f"{errors} experiment(s) failed", file=sys.stderr)
     if check_failures:
         print(f"{check_failures} shape check(s) FAILED", file=sys.stderr)
+    if interrupted:
+        return EXIT_INTERRUPTED
     if errors or check_failures:
         return 1
     print("all shape checks passed")

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulated machine.
+
+The subsystem has three parts:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`,
+  the pure-data description of a degradation (JSON-serializable, value
+  equality, stable fingerprints);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which realizes
+  one plan against one booted system through hooks the machine already
+  exposes, drawing all randomness from named RNG streams derived from
+  the machine's master seed;
+* :mod:`repro.faults.scenarios` — the named scenario library
+  (``get_scenario("degraded")`` etc.) used by the ``ext-faults``
+  experiment and ``make faults-smoke``.
+
+Determinism contract: identical ``(seed, FaultPlan)`` pairs produce
+bit-identical injection sequences, and an empty plan leaves the machine
+bit-identical to an uninstrumented one.  See docs/fault-injection.md.
+"""
+
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .scenarios import SCENARIOS, get_scenario, scenario_names
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,155 @@
+"""Fault plans: declarative, serializable descriptions of degradation.
+
+A :class:`FaultPlan` is a named list of :class:`FaultSpec` entries, each
+describing one perturbation source (what kind, how hard, over which
+window of simulated time).  Plans are *pure data*: they contain no RNG
+state and no machine references, so they serialize to JSON for run
+manifests, hash stably for cache keys, and compare by value.
+
+**The determinism contract.**  All randomness used to *realize* a plan
+(arrival times, spike magnitudes, jitter coin-flips) is drawn by the
+:class:`~repro.faults.injector.FaultInjector` from named RNG streams
+derived from the simulated machine's master seed and the fault's name
+(:mod:`repro.sim.rng`).  Two runs with the same ``(seed, FaultPlan)``
+therefore inject byte-identical fault sequences — the property the
+``ext-faults`` experiment checks and ``make faults-smoke`` gates on.
+Adding a fault to a plan never perturbs the draws of existing faults,
+because streams are keyed by fault name, not creation order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: The five perturbation sources, one per layer of the machine.
+FAULT_KINDS = (
+    "disk-stall",  # service-time spikes on the disk (devices/disk.py)
+    "irq-storm",  # spurious interrupt bursts (sim/interrupts.py)
+    "queue-pressure",  # junk posts + finite queue capacity (winsys/messages.py)
+    "sched-jitter",  # preemption requeue demotion (winsys/scheduler.py)
+    "memory-pressure",  # TLB-flush/miss storms stealing CPU (sim/perf.py)
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One perturbation source within a plan.
+
+    ``name`` keys the RNG stream (unique within a plan); ``kind`` picks
+    the injection mechanism; ``params`` are kind-specific knobs (plain
+    numbers/strings only, so the spec stays JSON-round-trippable);
+    ``start_ms``/``end_ms`` bound the active window in simulated time
+    (``end_ms=None`` means "until the run ends").
+    """
+
+    name: str
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.end_ms is not None and self.end_ms <= self.start_ms:
+            raise ValueError(
+                f"empty fault window [{self.start_ms}, {self.end_ms}) for {self.name!r}"
+            )
+
+    @staticmethod
+    def make(
+        name: str,
+        kind: str,
+        params: Optional[Mapping[str, object]] = None,
+        start_ms: float = 0.0,
+        end_ms: Optional[float] = None,
+    ) -> "FaultSpec":
+        """Build a spec from a plain mapping of params (sorted for value
+        equality and stable serialization)."""
+        items = tuple(sorted((params or {}).items()))
+        return FaultSpec(
+            name=name, kind=kind, params=items, start_ms=start_ms, end_ms=end_ms
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def param(self, key: str, default: object = None) -> object:
+        return self.param_dict.get(key, default)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "params": self.param_dict,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "FaultSpec":
+        return FaultSpec.make(
+            name=data["name"],
+            kind=data["kind"],
+            params=data.get("params") or {},
+            start_ms=data.get("start_ms", 0.0),
+            end_ms=data.get("end_ms"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered collection of fault specs."""
+
+    name: str
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [fault.name for fault in self.faults]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate fault names in plan {self.name!r}: {sorted(duplicates)}"
+            )
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def kinds(self) -> List[str]:
+        """Kinds present in the plan, in spec order, deduplicated."""
+        seen: List[str] = []
+        for fault in self.faults:
+            if fault.kind not in seen:
+                seen.append(fault.kind)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "fault-plan",
+            "name": self.name,
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "FaultPlan":
+        if data.get("kind") != "fault-plan":
+            raise ValueError(f"not a fault-plan payload: {data.get('kind')!r}")
+        return FaultPlan(
+            name=data["name"],
+            faults=tuple(FaultSpec.from_dict(entry) for entry in data["faults"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable textual identity of the plan (for manifests/labels)."""
+        return json.dumps(self.to_dict(), sort_keys=True)

@@ -1,0 +1,208 @@
+"""Named fault scenarios — the library of reproducible degradations.
+
+Each scenario is a :class:`~repro.faults.plan.FaultPlan` built fresh per
+call (plans are immutable, but callers may still want distinct
+instances).  Five single-kind scenarios stress one layer each; the
+composite ``degraded`` scenario stacks all five, and ``smoke`` is a tiny
+fast plan for CI (``make faults-smoke``).
+
+Windows are in simulated milliseconds.  The single-kind scenarios keep
+faults inside the first ~2.5 s of the run — comfortably covering the
+keystroke scripts the ``ext-faults`` experiment replays — so a bounded
+``run_for`` after the last keystroke still drains every armed fault.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+
+
+def _disk_hiccups() -> FaultPlan:
+    """Transient disk stalls: every ~60 ms the drive freezes ~25 ms."""
+    return FaultPlan(
+        "disk-hiccups",
+        (
+            FaultSpec.make(
+                "hiccup",
+                "disk-stall",
+                {"mean_period_ms": 60.0, "stall_ms": 25.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _irq_storm() -> FaultPlan:
+    """NIC interrupt storms, with a lighter keyboard-vector storm on top."""
+    return FaultPlan(
+        "irq-storm",
+        (
+            FaultSpec.make(
+                "nic-storm",
+                "irq-storm",
+                {"vector": "nic", "burst": 25, "gap_us": 100.0, "mean_period_ms": 40.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+            FaultSpec.make(
+                "kbd-storm",
+                "irq-storm",
+                {"vector": "keyboard", "burst": 8, "gap_us": 200.0, "mean_period_ms": 90.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _queue_pressure() -> FaultPlan:
+    """Junk WM_USER floods into the foreground queue, capacity clamped."""
+    return FaultPlan(
+        "queue-pressure",
+        (
+            FaultSpec.make(
+                "junk-flood",
+                "queue-pressure",
+                {"burst": 10, "mean_period_ms": 50.0, "capacity": 64},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _sched_jitter() -> FaultPlan:
+    """Preempted threads sometimes lose their front-of-queue position."""
+    return FaultPlan(
+        "sched-jitter",
+        (
+            FaultSpec.make(
+                "requeue-demotion",
+                "sched-jitter",
+                {"probability": 0.35},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _memory_pressure() -> FaultPlan:
+    """TLB-flush storms: CPU stolen plus TLB miss/flush counter charges."""
+    return FaultPlan(
+        "memory-pressure",
+        (
+            FaultSpec.make(
+                "tlb-storm",
+                "memory-pressure",
+                {"mean_period_ms": 25.0, "cost_us": 180.0, "tlb_flushes": 10, "tlb_misses": 500},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _degraded() -> FaultPlan:
+    """All five perturbation sources at once — the ext-faults workhorse."""
+    return FaultPlan(
+        "degraded",
+        (
+            FaultSpec.make(
+                "disk",
+                "disk-stall",
+                {"mean_period_ms": 50.0, "stall_ms": 30.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+            FaultSpec.make(
+                "nic",
+                "irq-storm",
+                {"vector": "nic", "burst": 20, "gap_us": 120.0, "mean_period_ms": 60.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+            FaultSpec.make(
+                "queue",
+                "queue-pressure",
+                {"burst": 8, "mean_period_ms": 70.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+            FaultSpec.make(
+                "sched",
+                "sched-jitter",
+                {"probability": 0.25},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+            FaultSpec.make(
+                "memory",
+                "memory-pressure",
+                {"mean_period_ms": 35.0, "cost_us": 150.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _smoke() -> FaultPlan:
+    """Tiny fast plan for CI smoke runs: dense faults, short window."""
+    return FaultPlan(
+        "smoke",
+        (
+            FaultSpec.make(
+                "disk",
+                "disk-stall",
+                {"mean_period_ms": 30.0, "stall_ms": 15.0},
+                start_ms=5.0,
+                end_ms=600.0,
+            ),
+            FaultSpec.make(
+                "nic",
+                "irq-storm",
+                {"vector": "nic", "burst": 10, "gap_us": 100.0, "mean_period_ms": 30.0},
+                start_ms=5.0,
+                end_ms=600.0,
+            ),
+            FaultSpec.make(
+                "memory",
+                "memory-pressure",
+                {"mean_period_ms": 20.0, "cost_us": 120.0},
+                start_ms=5.0,
+                end_ms=600.0,
+            ),
+        ),
+    )
+
+
+SCENARIOS: Dict[str, Callable[[], FaultPlan]] = {
+    "disk-hiccups": _disk_hiccups,
+    "irq-storm": _irq_storm,
+    "queue-pressure": _queue_pressure,
+    "sched-jitter": _sched_jitter,
+    "memory-pressure": _memory_pressure,
+    "degraded": _degraded,
+    "smoke": _smoke,
+}
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> FaultPlan:
+    """Build the named scenario's plan; raises KeyError with choices."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+    return factory()

@@ -10,12 +10,18 @@ warming effect across repeated OLE edit sessions.
 The disk services one request at a time from a FIFO queue and raises the
 ``disk`` interrupt vector when a request completes; the I/O manager
 (:mod:`repro.winsys.iomgr`) turns that into thread wakeups.
+
+Service-time *modifiers* are the drive's degradation hook: an installed
+modifier sees each request as service begins and may add latency (a
+firmware hiccup, a thermal-recalibration stall, a bus retry).  The
+fault-injection layer (:mod:`repro.faults`) uses this to produce seeded
+latency spikes without touching the queueing or completion logic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 from collections import deque
 
 from ..engine import Simulator
@@ -74,14 +80,37 @@ class Disk:
         self._queue: Deque[DiskRequest] = deque()
         self._active: Optional[DiskRequest] = None
         self._head_block = 0
+        #: Installed service-time modifiers, applied in order as each
+        #: request starts service (see module docstring).
+        self._service_modifiers: List[Callable[[DiskRequest, int], int]] = []
         #: Totals for diagnostics.
         self.requests_completed = 0
         self.blocks_transferred = 0
         self.busy_ns = 0
+        #: Extra nanoseconds added by service-time modifiers (diagnostics).
+        self.injected_service_ns = 0
 
     def set_interrupt_sink(self, raise_interrupt: Callable[[str, object], None]) -> None:
         """Late-bind the interrupt controller (set when the machine boots)."""
         self._raise_interrupt = raise_interrupt
+
+    def add_service_time_modifier(
+        self, modifier: Callable[[DiskRequest, int], int]
+    ) -> None:
+        """Install a modifier called as ``modifier(request, base_ns)``.
+
+        The return value (clamped to >= 0) is *added* to the request's
+        service time.  Modifiers stack; each sees the unmodified base
+        service time.
+        """
+        self._service_modifiers.append(modifier)
+
+    def remove_service_time_modifier(
+        self, modifier: Callable[[DiskRequest, int], int]
+    ) -> None:
+        """Uninstall a previously added modifier (missing ones are ignored)."""
+        if modifier in self._service_modifiers:
+            self._service_modifiers.remove(modifier)
 
     @property
     def queue_depth(self) -> int:
@@ -123,7 +152,12 @@ class Disk:
         if not self._queue:
             return
         request = self._queue.popleft()
-        request.service_ns = self.service_time_ns(request)
+        base_ns = self.service_time_ns(request)
+        extra_ns = 0
+        for modifier in self._service_modifiers:
+            extra_ns += max(0, int(modifier(request, base_ns)))
+        self.injected_service_ns += extra_ns
+        request.service_ns = base_ns + extra_ns
         self._active = request
         self.sim.schedule(
             request.service_ns, self._complete_active, label="disk-complete"

@@ -40,6 +40,8 @@ class InterruptController:
         self._handlers: Dict[str, Callable[[object], None]] = {}
         #: Per-vector delivery counts, for diagnostics and tests.
         self.delivered: Dict[str, int] = {}
+        #: Per-vector spurious delivery counts (ISR cost, no handler).
+        self.spurious: Dict[str, int] = {}
 
     def register(
         self,
@@ -84,6 +86,24 @@ class InterruptController:
                 lambda: handler(payload),
                 label=f"isr-return:{name}",
             )
+
+    def raise_spurious(self, name: str) -> int:
+        """Deliver a *spurious* interrupt on vector ``name``.
+
+        The full ISR cost is charged against the CPU — stealing time
+        from whatever runs, exactly like a genuine delivery — but no
+        post-action handler fires, because the device has nothing to
+        report.  This is how an interrupt storm degrades a system: pure
+        service overhead with no useful work behind it.  Returns the
+        ISR duration in nanoseconds.
+        """
+        vector = self._vectors.get(name)
+        if vector is None:
+            raise KeyError(f"unknown interrupt vector {name!r}")
+        self.cpu.perf.charge(HwEvent.INTERRUPTS, 1)
+        duration = self.cpu.steal(vector.isr_work)
+        self.spurious[name] = self.spurious.get(name, 0) + 1
+        return duration
 
 
 class PeriodicClock:

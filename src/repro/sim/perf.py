@@ -9,6 +9,12 @@ accessible from system mode.  The measurement harness in
 ``repro.core.counters`` therefore re-runs an operation once per counter
 configuration, exactly as the paper did ("We repeated the test 10 times
 for each performance counter").
+
+The counter file is also where injected degradation surfaces: the
+fault-injection layer (:mod:`repro.faults`) charges TLB-flush and
+TLB-miss events for its memory-pressure storms through the ordinary
+:meth:`PerfCounters.charge` path, so a degraded run is distinguishable
+from a healthy one by exactly the measurements the paper had access to.
 """
 
 from __future__ import annotations

@@ -33,6 +33,11 @@ class HwEvent(str, Enum):
     SEGMENT_LOADS = "segment_loads"
     UNALIGNED_ACCESS = "unaligned_access"
     INTERRUPTS = "interrupts"
+    #: TLB flushes (CR3 reloads / working-set trims).  Quiet on the
+    #: healthy testbed; memory-pressure fault injection charges these so
+    #: degradation is visible through the same counter file the paper
+    #: read.
+    TLB_FLUSH = "tlb_flush"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -50,15 +50,35 @@ class IoManager:
         self._next_op_id = 1
         self.outstanding_sync = 0
         self._observers: List[Callable[[int], None]] = []
+        #: Cumulative simulated time with outstanding_sync > 0 — the
+        #: user-*wait* attributable to synchronous I/O per Figure 2
+        #: (an injected disk stall shows up here in full).
+        self._sync_wait_total_ns = 0
+        self._sync_active_since: Optional[int] = None
 
     def add_sync_observer(self, observer: Callable[[int], None]) -> None:
         """Subscribe to outstanding-sync-I/O count changes (FSM input)."""
         self._observers.append(observer)
 
     def _set_outstanding(self, value: int) -> None:
+        now = self.disk.sim.now
+        if self.outstanding_sync == 0 and value > 0:
+            self._sync_active_since = now
+        elif self.outstanding_sync > 0 and value == 0:
+            if self._sync_active_since is not None:
+                self._sync_wait_total_ns += now - self._sync_active_since
+            self._sync_active_since = None
         self.outstanding_sync = value
         for observer in self._observers:
             observer(value)
+
+    @property
+    def sync_wait_ns(self) -> int:
+        """Total time spent with synchronous I/O outstanding, so far."""
+        total = self._sync_wait_total_ns
+        if self._sync_active_since is not None:
+            total += self.disk.sim.now - self._sync_active_since
+        return total
 
     # ------------------------------------------------------------------
     # Planning

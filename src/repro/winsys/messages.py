@@ -76,6 +76,13 @@ class MessageQueue:
         self._observers: List[Callable[[str, Message, int], None]] = []
         self.posted_count = 0
         self.retrieved_count = 0
+        #: Maximum queued messages; ``None`` (the default) is unbounded.
+        #: Real Win16/Win32 queues were finite (8 entries on Win16!) and
+        #: overflowing posts were silently discarded — the behaviour the
+        #: fault-injection layer recreates for queue-pressure scenarios.
+        self.capacity: Optional[int] = None
+        #: Messages discarded because the queue was at capacity.
+        self.dropped_count = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -95,14 +102,25 @@ class MessageQueue:
         for observer in self._observers:
             observer(action, message, len(self._queue))
 
-    def post(self, message: Message, now_ns: int) -> None:
-        """Append a message (PostMessage / input pipeline delivery)."""
+    def post(self, message: Message, now_ns: int) -> bool:
+        """Append a message (PostMessage / input pipeline delivery).
+
+        Returns True when the message was queued; False when a finite
+        ``capacity`` was reached and the message was dropped (the
+        PostMessage-returns-FALSE overflow of the real API).  Dropped
+        messages reach neither callbacks nor observers — the thread
+        never learns they existed.
+        """
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.dropped_count += 1
+            return False
         message.posted_ns = now_ns
         self._queue.append(message)
         self.posted_count += 1
         self._notify("post", message)
         for callback in self._on_post:
             callback(message)
+        return True
 
     def get(self, now_ns: int) -> Optional[Message]:
         """Remove and return the head message, or None when empty."""

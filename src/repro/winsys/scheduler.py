@@ -12,7 +12,7 @@ our own low-priority process", Section 2.3).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from .threads import SimThread, ThreadState
 
@@ -25,6 +25,22 @@ class Scheduler:
     def __init__(self) -> None:
         self._ready: Dict[int, Deque[SimThread]] = {}
         self._priorities: List[int] = []  # sorted descending
+        self._requeue_jitter: Optional[Callable[[SimThread], bool]] = None
+
+    def set_requeue_jitter(
+        self, jitter: Optional[Callable[[SimThread], bool]]
+    ) -> None:
+        """Install (or clear) a preemption-requeue jitter source.
+
+        When a preempted thread is re-queued with ``front=True`` the
+        jitter source may demote it to the back of its priority queue —
+        it loses its place to equal-priority peers, the way a loaded or
+        misbehaving scheduler perturbs dispatch order.  The source must
+        be deterministic (a seeded RNG stream) to keep runs
+        reproducible; it is consulted only on front insertions, so a
+        quiet system is never perturbed.
+        """
+        self._requeue_jitter = jitter
 
     def _queue_for(self, priority: int) -> Deque[SimThread]:
         queue = self._ready.get(priority)
@@ -47,6 +63,8 @@ class Scheduler:
         thread.state = ThreadState.READY
         thread.wait_reason = None
         queue = self._queue_for(thread.priority)
+        if front and self._requeue_jitter is not None and self._requeue_jitter(thread):
+            front = False
         if front:
             queue.appendleft(thread)
         else:

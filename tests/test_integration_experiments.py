@@ -22,6 +22,7 @@ FAST_EXPERIMENTS = [
     "ablation-idle-n",
     "ext-network",
     "ext-decompose",
+    "ext-faults",
 ]
 
 
@@ -38,7 +39,8 @@ def test_registry_complete():
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
         "fig9", "fig10", "fig11", "fig12", "table1", "table2", "sec25",
         "sec54", "ablation-idle-n", "ablation-batching", "ablation-merge",
-        "ext-refresh", "ext-network", "ext-decompose", "sec5-repeat",
+        "ext-refresh", "ext-network", "ext-decompose", "ext-faults",
+        "sec5-repeat",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -103,6 +103,36 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     assert not job.cache_hit and job.error is None
 
 
+def test_corrupt_cache_entry_evicted_and_rewritten(tmp_path):
+    cache = RunCache(tmp_path / "cache", version="testver")
+    parallel.execute_job("ablation-merge", 0, cache=cache)
+    path = cache.entry_path("ablation-merge", 0)
+
+    # A truncated entry (killed writer, disk full) is evicted on read
+    # so it cannot shadow the slot forever...
+    path.write_text('{"kind": "cache-entry", "experiment')
+    assert cache.load("ablation-merge", 0) is None
+    assert not path.exists()
+    # ...and the next execute_job transparently rewrites it.
+    job = parallel.execute_job("ablation-merge", 0, cache=cache)
+    assert not job.cache_hit and job.error is None
+    assert path.exists()
+    assert parallel.execute_job("ablation-merge", 0, cache=cache).cache_hit
+
+    # An entry whose content contradicts its path (here: claiming to be
+    # a different experiment) is corruption, not staleness: also evicted.
+    path.write_text(path.read_text().replace("ablation-merge", "fig1"))
+    assert cache.load("ablation-merge", 0) is None
+    assert not path.exists()
+
+
+def test_missing_cache_entry_is_a_plain_miss_without_eviction(tmp_path):
+    # An absent file is the ordinary cold-cache case: load() must not
+    # try to evict (nothing to remove) and must leave the dir intact.
+    cache = RunCache(tmp_path / "cache", version="testver")
+    assert cache.load("ablation-merge", 0) is None
+
+
 def test_different_code_version_is_a_miss(tmp_path):
     root = tmp_path / "cache"
     parallel.execute_job("ablation-merge", 0, cache=RunCache(root, version="v1"))
@@ -172,7 +202,7 @@ def test_failing_experiment_surfaces_sequentially(tmp_path, monkeypatch, capsys)
     err = capsys.readouterr().err
     assert "kaboom from the experiment" in err
     assert "Traceback" in err
-    assert "1 experiment(s) raised" in err
+    assert "1 experiment(s) failed" in err
 
     manifest = manifest_from_dict(load_json(out / "manifest.json"))
     assert manifest["failures"] == 1
@@ -199,21 +229,21 @@ def test_failing_experiment_surfaces_from_pool(tmp_path, monkeypatch, capsys):
 def test_broken_worker_becomes_job_error(monkeypatch):
     # Simulate the pool losing a worker entirely (the future raises).
     class DoomedFuture:
-        def result(self):
+        def result(self, timeout=None):
             raise RuntimeError("process pool died")
+
+        def cancel(self):
+            return True
 
     class DoomedPool:
         def __init__(self, max_workers=None):
             pass
 
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
         def submit(self, fn, *args):
             return DoomedFuture()
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
 
     monkeypatch.setattr(parallel, "ProcessPoolExecutor", DoomedPool)
     results = parallel.run_many(["fig1", "fig4"], [0], jobs=2, cache=None)
