@@ -7,7 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 SMOKE_OUT   := .smoke-out
 SMOKE_CACHE := .smoke-cache
 
-.PHONY: test benchmarks experiments experiments-smoke faults-smoke clean
+.PHONY: test benchmarks experiments experiments-smoke faults-smoke \
+	verify-integrity golden-check golden-update verify clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +59,25 @@ faults-smoke:
 	print('faults manifest ok: %d injections across %s' % \
 	      (entry['faults']['total'], sorted(entry['faults']['by_os'])))"
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+
+# CI gate for measurement integrity: the invariant catalog must pass on
+# every OS personality under every named fault scenario, each seeded
+# trace corruption must trip exactly its matching invariant, and the
+# committed golden records must match the current code.
+verify-integrity:
+	$(PYTHON) -m repro.verify.integrity
+
+# Golden-trace regression only (subset of verify-integrity, faster).
+golden-check:
+	$(PYTHON) -m repro.verify.golden
+
+# Re-bless the golden records after a reviewed, intentional change.
+golden-update:
+	$(PYTHON) -m repro.verify.golden --update
+
+# The default local verification flow: unit tests, then the
+# measurement-integrity gate.
+verify: test verify-integrity
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache

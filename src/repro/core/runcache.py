@@ -1,12 +1,19 @@
 """On-disk cache of experiment runs, keyed by code version.
 
 A full reproduction sweep re-runs ~22 deterministic experiments whose
-outputs depend only on ``(code, experiment_id, seed)`` — so once a run
-has happened, repeating it is pure waste.  This module stores each
-finished run as a JSON *cache entry* (rendered report, shape checks and
-the archival payload) under::
+outputs depend only on ``(code, experiment_id, seed)`` — plus, when a
+fault plan or other run-time configuration is active, on that
+configuration too.  Once a run has happened, repeating it is pure
+waste.  This module stores each finished run as a JSON *cache entry*
+(rendered report, shape checks and the archival payload) under::
 
-    <cache-root>/<code-version>/<experiment_id>-seed<seed>.json
+    <cache-root>/<code-version>/<experiment_id>-seed<seed>[-v<variant>].json
+
+``<variant>`` is a short digest (:func:`variant_key`) over the run's
+active configuration — most importantly the fault-plan fingerprint —
+so a healthy run can never be served for a faulted request or vice
+versa: they live in different slots and each entry re-asserts its own
+variant on load.
 
 ``<code-version>`` is a content hash over every module of the installed
 ``repro`` package, so any code change — a cost-model knob, a new
@@ -30,11 +37,35 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
+from typing import Mapping
+
 from .serialize import cache_entry_from_dict, load_json
 
-__all__ = ["RunCache", "code_version", "default_cache_dir"]
+__all__ = ["RunCache", "code_version", "default_cache_dir", "variant_key"]
 
 _CODE_VERSION: Optional[str] = None
+
+
+def variant_key(parts: Optional[Mapping[str, object]] = None) -> str:
+    """Digest run-time configuration into a short cache-key component.
+
+    ``parts`` maps configuration names to stable identities — e.g.
+    ``{"fault-plan": plan.fingerprint(), "chars": 12}``.  The digest is
+    order-independent (canonical JSON, sorted keys), so two plans with
+    identical content hash identically even under different names,
+    while any content change — a tweaked fault magnitude under the same
+    scenario name — produces a different key.  An empty or ``None``
+    mapping is the default configuration and hashes to ``""``.
+    """
+    if not parts:
+        return ""
+    canonical = json.dumps(
+        {str(k): v for k, v in parts.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 def default_cache_dir() -> Path:
@@ -85,10 +116,13 @@ class RunCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version = version or code_version()
 
-    def entry_path(self, experiment_id: str, seed: int) -> Path:
-        return self.root / self.version / f"{experiment_id}-seed{seed}.json"
+    def entry_path(self, experiment_id: str, seed: int, variant: str = "") -> Path:
+        suffix = f"-v{variant}" if variant else ""
+        return self.root / self.version / f"{experiment_id}-seed{seed}{suffix}.json"
 
-    def load(self, experiment_id: str, seed: int) -> Optional[dict]:
+    def load(
+        self, experiment_id: str, seed: int, variant: str = ""
+    ) -> Optional[dict]:
         """Return the cached entry, or ``None`` on any kind of miss.
 
         A corrupt or truncated entry — invalid JSON, a non-entry
@@ -97,7 +131,7 @@ class RunCache:
         killed writer or a disk-full event cannot shadow the slot
         forever: the next run re-executes and rewrites it atomically.
         """
-        path = self.entry_path(experiment_id, seed)
+        path = self.entry_path(experiment_id, seed, variant)
         try:
             entry = cache_entry_from_dict(load_json(path))
         except OSError:
@@ -109,6 +143,7 @@ class RunCache:
             entry["experiment_id"] != experiment_id
             or entry["seed"] != seed
             or entry["code_version"] != self.version
+            or entry["variant"] != variant
         ):
             # The file's content contradicts the path it sits under
             # (entries live in a per-version directory, named by id and
@@ -127,7 +162,9 @@ class RunCache:
 
     def store(self, entry: dict) -> Optional[Path]:
         """Atomically persist ``entry``; returns ``None`` if unwritable."""
-        path = self.entry_path(entry["experiment_id"], entry["seed"])
+        path = self.entry_path(
+            entry["experiment_id"], entry["seed"], entry.get("variant", "")
+        )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(

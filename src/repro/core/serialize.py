@@ -115,7 +115,9 @@ def experiment_to_dict(result) -> dict:
     }
 
 
-def cache_entry_to_dict(result, *, seed: int, wall_s: float, code_version: str) -> dict:
+def cache_entry_to_dict(
+    result, *, seed: int, wall_s: float, code_version: str, variant: str = ""
+) -> dict:
     """Package one finished experiment run as a run-cache entry.
 
     The entry carries everything the runner needs to *replay* the run
@@ -124,6 +126,11 @@ def cache_entry_to_dict(result, *, seed: int, wall_s: float, code_version: str) 
     ``--save`` writes.  Because experiments are deterministic in
     ``(code, id, seed)``, serving this entry is observably identical to
     re-running — byte-for-byte for the saved JSON.
+
+    ``variant`` distinguishes runs of the same experiment under
+    different run-time configuration — most importantly the active
+    fault plan — so a healthy run and a faulted run can never serve
+    each other's slot (see :meth:`repro.core.runcache.RunCache.load`).
     """
     return {
         "format": _FORMAT_VERSION,
@@ -131,6 +138,7 @@ def cache_entry_to_dict(result, *, seed: int, wall_s: float, code_version: str) 
         "experiment_id": result.id,
         "seed": seed,
         "code_version": code_version,
+        "variant": variant,
         "wall_s": wall_s,
         "rendered": result.render(),
         "checks": [
@@ -145,6 +153,7 @@ _CACHE_ENTRY_KEYS = (
     "experiment_id",
     "seed",
     "code_version",
+    "variant",
     "wall_s",
     "rendered",
     "checks",

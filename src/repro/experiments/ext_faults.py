@@ -30,6 +30,7 @@ import numpy as np
 from ..apps.base import InteractiveApp
 from ..core import EventExtractor, IdleLoopInstrument, MessageApiMonitor
 from ..core.report import TextTable
+from ..core.serialize import profile_from_dict, profile_to_dict
 from ..core.visualize import cumulative_latency_plot, event_time_series
 from ..faults import FaultInjector, get_scenario
 from ..sim.timebase import ns_from_ms
@@ -119,11 +120,43 @@ def _measure(
     }
 
 
+def _measured(
+    checkpoint,
+    key: str,
+    os_name: str,
+    seed: int,
+    chars: int,
+    scenario: Optional[str],
+) -> Dict[str, object]:
+    """One measurement unit, served from the checkpoint when possible.
+
+    Each ``(os, workload, plan)`` run is deterministic in its inputs, so
+    a snapshot taken after it completed is interchangeable with
+    re-running it — which is what makes a killed-and-resumed experiment
+    byte-identical to an uninterrupted one.  The live profile is stored
+    through the exact integer round-trip of
+    :func:`~repro.core.serialize.profile_to_dict`.
+    """
+    if checkpoint is not None:
+        cached = checkpoint.get(key)
+        if cached is not None:
+            data = dict(cached)
+            data["profile"] = profile_from_dict(data["profile"])
+            return data
+    data = _measure(os_name, seed, chars, scenario)
+    if checkpoint is not None:
+        payload = {k: v for k, v in data.items() if k != "profile"}
+        payload["profile"] = profile_to_dict(data["profile"])
+        checkpoint.record(key, payload)
+    return data
+
+
 def run(
     seed: int = 0,
     chars: int = 36,
     scenario: str = "degraded",
     os_names: Sequence[str] = ALL_OS,
+    checkpoint=None,
 ) -> ExperimentResult:
     result = ExperimentResult(id=ID, title=TITLE)
     plan = get_scenario(scenario)
@@ -142,8 +175,12 @@ def run(
     )
     stats: Dict[str, Dict[str, object]] = {}
     for os_name in os_names:
-        healthy = _measure(os_name, seed, chars, scenario=None)
-        degraded = _measure(os_name, seed, chars, scenario=scenario)
+        healthy = _measured(
+            checkpoint, f"{os_name}:healthy", os_name, seed, chars, None
+        )
+        degraded = _measured(
+            checkpoint, f"{os_name}:{scenario}", os_name, seed, chars, scenario
+        )
         stats[os_name] = {
             "healthy": {k: v for k, v in healthy.items() if k != "profile"},
             "degraded": {k: v for k, v in degraded.items() if k != "profile"},
@@ -243,11 +280,35 @@ def run(
             for os_name in os_names
         ),
     )
-    replay = _measure(show_os, seed, chars, scenario=scenario)
+    replay = _measured(checkpoint, "replay", show_os, seed, chars, scenario)
     result.check(
         "identical (seed, plan) replays an identical degraded run",
         replay["latencies_ms"] == stats[show_os]["degraded"]["latencies_ms"]
         and replay["faults"] == stats[show_os]["degraded"]["faults"],
         f"{show_os}: {len(replay['latencies_ms'])} event latencies compared",
+    )
+
+    # Measurement-integrity evidence: run the fully instrumented verify
+    # probe under this scenario on every system and require the whole
+    # invariant catalog to hold — degradation must never come from the
+    # measurement stack miscounting.
+    from ..verify import InvariantChecker, gather_probe_evidence, summarize_reports
+
+    checker = InvariantChecker()
+    integrity: Dict[str, Dict[str, List[str]]] = {}
+    for os_name in os_names:
+        reports = checker.check(
+            gather_probe_evidence(os_name, seed=seed, scenario=scenario)
+        )
+        integrity[os_name] = summarize_reports(reports)
+    result.data["integrity"] = integrity
+    result.check(
+        "measurement invariants hold under injected faults on every system",
+        all(not summary["failed"] for summary in integrity.values()),
+        ", ".join(
+            f"{os_name}: {len(summary['passed'])} passed"
+            + (f", FAILED {summary['failed']}" if summary["failed"] else "")
+            for os_name, summary in integrity.items()
+        ),
     )
     return result

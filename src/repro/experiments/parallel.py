@@ -41,14 +41,16 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..core.runcache import RunCache
+from ..core.runcache import RunCache, code_version, variant_key
 from ..core.serialize import cache_entry_to_dict, experiment_to_dict
-from .registry import run_experiment
+from ..verify.checkpoint import Checkpointer, checkpoint_path
+from .registry import EXPERIMENTS, run_experiment
 
 __all__ = [
     "JobResult",
     "SweepInterrupted",
     "execute_job",
+    "job_variant",
     "run_many",
     "run_specs",
 ]
@@ -112,23 +114,82 @@ class JobResult:
         return len(self.failed_checks()) + (1 if self.error else 0)
 
 
+def _experiment_params(experiment_id: str):
+    import inspect
+
+    try:
+        return inspect.signature(EXPERIMENTS[experiment_id]).parameters
+    except (KeyError, ValueError, TypeError):
+        return {}
+
+
+def job_variant(experiment_id: str, run_kwargs: Optional[dict]) -> Tuple[dict, str]:
+    """Filter run-time kwargs to what the experiment accepts, and derive
+    the cache *variant* identifying that configuration.
+
+    Experiments take different keyword sets (``fig2`` has no fault
+    hooks; ``ext-faults`` does), so a sweep-wide ``--scenario`` must
+    only reach the experiments that understand it — and only those jobs
+    get a non-default variant.  A ``scenario`` kwarg contributes the
+    *fault plan's* :meth:`~repro.faults.plan.FaultPlan.fingerprint`
+    rather than its name: renaming a scenario does not invalidate
+    cached runs, while changing its content — same name, different
+    faults — always does.
+    """
+    if not run_kwargs:
+        return {}, ""
+    params = _experiment_params(experiment_id)
+    takes_any = any(
+        p.kind is p.VAR_KEYWORD for p in getattr(params, "values", lambda: [])()
+    )
+    accepted = {
+        key: value
+        for key, value in run_kwargs.items()
+        if takes_any or key in params
+    }
+    if not accepted:
+        return {}, ""
+    parts: dict = {}
+    for key, value in accepted.items():
+        if key == "scenario" and isinstance(value, str) and value:
+            from ..faults import get_scenario
+
+            parts["fault-plan"] = get_scenario(value).fingerprint()
+        else:
+            parts[key] = value
+    return accepted, variant_key(parts)
+
+
 def execute_job(
     experiment_id: str,
     seed: int,
     cache: Optional[RunCache] = None,
     refresh: bool = False,
+    run_kwargs: Optional[dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 1,
 ) -> JobResult:
     """Run one job, consulting and feeding the cache.
 
-    Cache discipline: a valid entry for ``(id, seed, code_version)``
-    is served directly unless ``refresh`` forces re-execution; a fresh
-    run (re)writes its entry.  Any exception from the experiment is
-    captured into ``JobResult.error`` rather than propagated, so pool
-    workers always return a result.
+    Cache discipline: a valid entry for ``(id, seed, code_version,
+    variant)`` is served directly unless ``refresh`` forces
+    re-execution; a fresh run (re)writes its entry.  The variant digests
+    the job's run-time configuration (``run_kwargs``, with fault
+    scenarios expanded to plan fingerprints — see :func:`job_variant`),
+    so a healthy cached run is never served for a faulted request or
+    vice versa.  Any exception from the experiment is captured into
+    ``JobResult.error`` rather than propagated, so pool workers always
+    return a result.
+
+    With ``checkpoint_dir`` set, experiments that accept a
+    ``checkpoint`` keyword get a :class:`~repro.verify.checkpoint.Checkpointer`
+    pinned to this job's exact identity: a killed run resumes from its
+    last snapshot, and a completed run discards it.
     """
     started = time.perf_counter()
+    kwargs, variant = job_variant(experiment_id, run_kwargs)
     if cache is not None and not refresh:
-        entry = cache.load(experiment_id, seed)
+        entry = cache.load(experiment_id, seed, variant)
         if entry is not None:
             return JobResult(
                 experiment_id=experiment_id,
@@ -139,9 +200,26 @@ def execute_job(
                 checks=entry["checks"],
                 payload=entry["payload"],
             )
+    checkpointer = None
+    if checkpoint_dir is not None and "checkpoint" in _experiment_params(
+        experiment_id
+    ):
+        checkpointer = Checkpointer(
+            checkpoint_path(checkpoint_dir, experiment_id, seed, variant),
+            identity={
+                "experiment_id": experiment_id,
+                "seed": seed,
+                "code_version": code_version(),
+                "variant": variant,
+            },
+            interval=checkpoint_interval,
+        )
+        kwargs = dict(kwargs, checkpoint=checkpointer)
     try:
-        result = run_experiment(experiment_id, seed=seed)
+        result = run_experiment(experiment_id, seed=seed, **kwargs)
     except Exception:
+        if checkpointer is not None:
+            checkpointer.flush()  # keep partial progress for --resume
         return JobResult(
             experiment_id=experiment_id,
             seed=seed,
@@ -150,10 +228,16 @@ def execute_job(
             failure_kind="error",
         )
     wall = time.perf_counter() - started
+    if checkpointer is not None:
+        checkpointer.discard()  # the finished run supersedes it
     if cache is not None:
         cache.store(
             cache_entry_to_dict(
-                result, seed=seed, wall_s=wall, code_version=cache.version
+                result,
+                seed=seed,
+                wall_s=wall,
+                code_version=cache.version,
+                variant=variant,
             )
         )
     return JobResult(
@@ -197,6 +281,7 @@ def _sequential_round(
     refresh: bool,
     timeout_s: Optional[float],
     resolve: Callable[[int, JobResult], None],
+    job_options: Optional[dict] = None,
 ) -> None:
     """Run a round in-process, with a SIGALRM watchdog when available.
 
@@ -221,7 +306,13 @@ def _sequential_round(
             signal.setitimer(signal.ITIMER_REAL, timeout_s)
         started = time.perf_counter()
         try:
-            job = execute_job(experiment_id, seed, cache=cache, refresh=refresh)
+            job = execute_job(
+                experiment_id,
+                seed,
+                cache=cache,
+                refresh=refresh,
+                **(job_options or {}),
+            )
         except _JobTimeout:
             job = JobResult(
                 experiment_id=experiment_id,
@@ -247,6 +338,7 @@ def _pool_round(
     refresh: bool,
     timeout_s: Optional[float],
     resolve: Callable[[int, JobResult], None],
+    job_options: Optional[dict] = None,
 ) -> None:
     """Run a round on a fresh process pool, watchdogging each future.
 
@@ -260,8 +352,18 @@ def _pool_round(
     pool = ProcessPoolExecutor(max_workers=jobs)
     hung = False
     try:
+        options = job_options or {}
         futures = [
-            pool.submit(execute_job, experiment_id, seed, cache, refresh)
+            pool.submit(
+                execute_job,
+                experiment_id,
+                seed,
+                cache,
+                refresh,
+                options.get("run_kwargs"),
+                options.get("checkpoint_dir"),
+                options.get("checkpoint_interval", 1),
+            )
             for _index, (experiment_id, seed) in indexed_specs
         ]
         for (index, (experiment_id, seed)), future in zip(indexed_specs, futures):
@@ -326,6 +428,9 @@ def run_specs(
     retries: int = 0,
     backoff_s: float = 1.0,
     sleep: Callable[[float], None] = time.sleep,
+    run_kwargs: Optional[dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 1,
 ) -> List[JobResult]:
     """Execute an explicit ``(experiment_id, seed)`` job list.
 
@@ -344,8 +449,19 @@ def run_specs(
     Raises :class:`SweepInterrupted` on Ctrl-C, after cancelling
     outstanding work; the exception carries the full results list with
     unfinished jobs marked ``failure_kind="interrupted"``.
+
+    ``run_kwargs`` are forwarded to each experiment that accepts them
+    (and folded into its cache variant); ``checkpoint_dir`` /
+    ``checkpoint_interval`` enable crash-safe unit checkpoints for
+    experiments that take a ``checkpoint`` keyword — all documented on
+    :func:`execute_job`.
     """
     specs = list(specs)
+    job_options = {
+        "run_kwargs": run_kwargs,
+        "checkpoint_dir": checkpoint_dir,
+        "checkpoint_interval": checkpoint_interval,
+    }
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(specs) or 1))
@@ -381,7 +497,9 @@ def run_specs(
 
             indexed = [(i, specs[i]) for i in pending]
             if jobs == 1:
-                _sequential_round(indexed, cache, refresh, timeout_s, resolve)
+                _sequential_round(
+                    indexed, cache, refresh, timeout_s, resolve, job_options
+                )
             else:
                 _pool_round(
                     indexed,
@@ -390,6 +508,7 @@ def run_specs(
                     refresh,
                     timeout_s,
                     resolve,
+                    job_options,
                 )
     except KeyboardInterrupt:
         snapshot: List[JobResult] = []
@@ -420,6 +539,9 @@ def run_many(
     retries: int = 0,
     backoff_s: float = 1.0,
     sleep: Callable[[float], None] = time.sleep,
+    run_kwargs: Optional[dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 1,
 ) -> List[JobResult]:
     """Execute the ``ids × seeds`` sweep and return ordered results.
 
@@ -442,4 +564,7 @@ def run_many(
         retries=retries,
         backoff_s=backoff_s,
         sleep=sleep,
+        run_kwargs=run_kwargs,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
     )

@@ -9,14 +9,19 @@ authors analysed one captured trace multiple ways.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..apps.slides import SlidesApp
 from ..core import MeasurementSession, SessionResult
 from ..workload.tasks import powerpoint_task
 from .common import NT_OS
 
-__all__ = ["powerpoint_sessions", "TABLE1_LABELS", "PAPER_TABLE1"]
+__all__ = [
+    "powerpoint_session",
+    "powerpoint_sessions",
+    "TABLE1_LABELS",
+    "PAPER_TABLE1",
+]
 
 #: Script mark -> paper row name, in Table 1 order.
 TABLE1_LABELS = {
@@ -38,18 +43,31 @@ PAPER_TABLE1 = {
     "ole-edit-3": (2.697, 1.305),
 }
 
-_cache: Dict[int, Dict[str, SessionResult]] = {}
+_cache: Dict[Tuple[str, int], SessionResult] = {}
+_pair_cache: Dict[int, Dict[str, SessionResult]] = {}
+
+
+def powerpoint_session(os_name: str, seed: int = 0) -> SessionResult:
+    """The Section 5.2 task on one OS (cold boot), cached per (os, seed).
+
+    Single-OS granularity is what unit-level checkpointing needs: a
+    resumed Table 1 run can skip the NT 3.51 session it already
+    completed and measure only NT 4.0.
+    """
+    key = (os_name, seed)
+    if key not in _cache:
+        spec = powerpoint_task()
+        session = MeasurementSession(os_name, SlidesApp, seed=seed)
+        _cache[key] = session.run(
+            spec.script, default_pause_ms=500.0, max_seconds=2400
+        )
+    return _cache[key]
 
 
 def powerpoint_sessions(seed: int = 0) -> Dict[str, SessionResult]:
     """The Section 5.2 task on both NTs (cold boot each), cached."""
-    if seed not in _cache:
-        sessions: Dict[str, SessionResult] = {}
-        for os_name in NT_OS:
-            spec = powerpoint_task()
-            session = MeasurementSession(os_name, SlidesApp, seed=seed)
-            sessions[os_name] = session.run(
-                spec.script, default_pause_ms=500.0, max_seconds=2400
-            )
-        _cache[seed] = sessions
-    return _cache[seed]
+    if seed not in _pair_cache:
+        _pair_cache[seed] = {
+            os_name: powerpoint_session(os_name, seed) for os_name in NT_OS
+        }
+    return _pair_cache[seed]

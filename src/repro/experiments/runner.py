@@ -7,6 +7,10 @@
     repro-experiments --seed 0,1,2 --no-cache    # seed sweep, forced re-run
     repro-experiments --timeout 120 --retries 2  # hardened long sweep
     repro-experiments --resume out/manifest.json # re-run only missing/failed
+    repro-experiments --strict-invariants        # fail (exit 3) on any
+                                                 # measurement-integrity breach
+    repro-experiments --scenario degraded        # sweep under a fault plan
+    repro-experiments --checkpoint-dir ck/       # crash-safe long runs
 
 See ``docs/running-experiments.md`` for the full CLI reference.
 """
@@ -21,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.runcache import RunCache, code_version
 from ..core.serialize import load_json, manifest_from_dict, manifest_to_dict, save_json
+from ..verify.invariants import check_payload
 from .parallel import JobResult, SweepInterrupted, run_specs
 from .registry import EXPERIMENTS, TITLES
 
@@ -28,6 +33,13 @@ __all__ = ["main"]
 
 #: Exit code for an interrupted sweep (shell convention: 128 + SIGINT).
 EXIT_INTERRUPTED = 130
+
+#: Reserved exit code: a measurement-integrity invariant failed (under
+#: ``--strict-invariants``, or in ``python -m repro.verify.integrity``).
+#: Distinct from 1 (experiment errors / shape-check failures) so CI can
+#: tell "the system under test regressed" from "the measurement itself
+#: cannot be trusted".
+EXIT_INVARIANT = 3
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -80,7 +92,53 @@ def _entry_from_job(job: JobResult, saved: Optional[str]) -> dict:
     data = (job.payload or {}).get("data") or {}
     if isinstance(data, dict) and "injected_faults" in data:
         entry["faults"] = data["injected_faults"]
+    # Payload invariants run on every completed job (they are cheap):
+    # the manifest records what passed, and any violation in full.
+    if job.payload is not None:
+        reports = check_payload(job.payload)
+        entry["invariants"] = {
+            "passed": [r.name for r in reports if r.status == "passed"],
+            "failed": [r.name for r in reports if r.status == "failed"],
+        }
+        violations = [
+            v.to_dict() for r in reports if r.status == "failed"
+            for v in r.violations
+        ]
+        if violations:
+            entry["invariant_violations"] = violations
     return entry
+
+
+def _strict_probe_matrix(scenario: Optional[str], seed: int) -> List[dict]:
+    """The ``--strict-invariants`` probe pass: every personality under
+    the empty fault plan, plus the sweep's active scenario if any.
+    Returns manifest-ready records (one per probe)."""
+    from ..verify.invariants import InvariantChecker, summarize_reports
+    from ..verify.probe import PERSONALITIES, gather_probe_evidence
+
+    checker = InvariantChecker()
+    records: List[dict] = []
+    scenarios: List[Optional[str]] = [None]
+    if scenario:
+        scenarios.append(scenario)
+    for os_name in PERSONALITIES:
+        for probe_scenario in scenarios:
+            reports = checker.check(
+                gather_probe_evidence(os_name, seed=seed, scenario=probe_scenario)
+            )
+            record = {
+                "os": os_name,
+                "scenario": probe_scenario or "",
+                "summary": summarize_reports(reports),
+            }
+            violations = [
+                v.to_dict() for r in reports if r.status == "failed"
+                for v in r.violations
+            ]
+            if violations:
+                record["violations"] = violations
+            records.append(record)
+    return records
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -185,6 +243,42 @@ def main(argv: Optional[List[str]] = None) -> int:
             "completed results, and writes a merged manifest"
         ),
     )
+    parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help=(
+            "run fault-aware experiments under this named fault scenario; "
+            "cached results are keyed by the plan's content fingerprint, so "
+            "healthy and faulted runs never serve each other"
+        ),
+    )
+    parser.add_argument(
+        "--strict-invariants",
+        action="store_true",
+        help=(
+            "after the sweep, run the measurement-integrity probe matrix and "
+            f"exit {EXIT_INVARIANT} if any invariant fails (also applied to "
+            "each job's archived payload)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write crash-safe unit checkpoints for long experiments here; a "
+            "killed sweep re-run with the same arguments resumes from the "
+            "last snapshot with byte-identical results"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        metavar="N",
+        help="completed units per checkpoint write (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -198,6 +292,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.timeout is not None and args.timeout <= 0:
         print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
         return 2
+    if args.checkpoint_interval < 1:
+        print(
+            f"--checkpoint-interval must be >= 1, got {args.checkpoint_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario is not None:
+        from ..faults import scenario_names
+
+        if args.scenario not in scenario_names():
+            print(
+                f"unknown scenario {args.scenario!r}; "
+                f"known: {', '.join(scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
 
     resume_manifest: Optional[dict] = None
     resume_dir: Optional[Path] = None
@@ -222,6 +332,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         seeds = [int(seed) for seed in resume_manifest["seeds"]]
     else:
         seeds = [0]
+
+    # A resumed sweep must re-run its stragglers under the *same*
+    # configuration the originals ran under, or the merged manifest
+    # would mix healthy and faulted results.
+    scenario = args.scenario
+    if scenario is None and resume_manifest is not None:
+        scenario = (resume_manifest.get("run_kwargs") or {}).get("scenario")
+    run_kwargs: Optional[dict] = {"scenario": scenario} if scenario else None
 
     if args.ids:
         ids = args.ids
@@ -311,6 +429,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             timeout_s=args.timeout,
             retries=args.retries,
             backoff_s=args.backoff,
+            run_kwargs=run_kwargs,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
         )
     except SweepInterrupted as exc:
         # Ctrl-C: outstanding jobs were cancelled; keep what finished
@@ -330,6 +451,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             job = by_spec[spec]
             entries.append(_entry_from_job(job, saved.get(spec)))
 
+    # Measurement-integrity accounting: payload-invariant failures are
+    # recorded per entry; --strict-invariants adds the probe matrix.
+    invariant_failures = sum(
+        len(entry.get("invariants", {}).get("failed", ())) for entry in entries
+    )
+    probe_records: Optional[List[dict]] = None
+    if args.strict_invariants and not interrupted:
+        probe_records = _strict_probe_matrix(scenario, min(seeds))
+        probe_failures = sum(
+            len(record["summary"]["failed"]) for record in probe_records
+        )
+        if probe_failures:
+            for record in probe_records:
+                for name in record["summary"]["failed"]:
+                    print(
+                        f"invariant FAILED: {name} "
+                        f"(probe {record['os']}/{record['scenario'] or 'healthy'})",
+                        file=sys.stderr,
+                    )
+        invariant_failures += probe_failures
+
     if save_dir is not None:
         manifest = manifest_to_dict(
             entries,
@@ -343,6 +485,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         if interrupted:
             manifest["interrupted"] = True
+        if run_kwargs:
+            manifest["run_kwargs"] = dict(run_kwargs)
+        manifest["integrity"] = {
+            "strict": bool(args.strict_invariants),
+            "invariant_failures": invariant_failures,
+        }
+        if probe_records is not None:
+            manifest["integrity"]["probes"] = probe_records
         save_json(manifest, save_dir / "manifest.json")
 
     errors = sum(1 for entry in entries if entry.get("error") is not None)
@@ -351,8 +501,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{errors} experiment(s) failed", file=sys.stderr)
     if check_failures:
         print(f"{check_failures} shape check(s) FAILED", file=sys.stderr)
+    if invariant_failures:
+        print(
+            f"{invariant_failures} measurement invariant(s) FAILED",
+            file=sys.stderr,
+        )
     if interrupted:
         return EXIT_INTERRUPTED
+    if args.strict_invariants and invariant_failures:
+        return EXIT_INVARIANT
     if errors or check_failures:
         return 1
     print("all shape checks passed")

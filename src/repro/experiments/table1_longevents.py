@@ -5,28 +5,62 @@ order; all are disk-bound.  Shapes that must hold: the document save is
 the longest event and is *slower on NT 4.0* (the table's inversion);
 application/OLE/document starts are faster on NT 4.0; successive OLE
 edit sessions get faster as the server image warms the buffer cache.
+
+This is the longest-running experiment (one full Section 5.2 benchmark
+per OS), so it checkpoints at per-OS granularity: a killed run resumes
+with only the missing OS re-measured.  Units store integer nanoseconds
+and derive seconds on the way out, so a resumed run's floats — and
+therefore its serialized payload — are byte-identical to an
+uninterrupted one.
 """
 
 from __future__ import annotations
 
+from typing import Dict, List
+
 from ..core.report import TextTable
-from .common import ExperimentResult
-from .ppt_runs import PAPER_TABLE1, TABLE1_LABELS, powerpoint_sessions
+from .common import ExperimentResult, NT_OS
+from .ppt_runs import PAPER_TABLE1, TABLE1_LABELS, powerpoint_session
 
 ID = "table1"
 TITLE = "PowerPoint events with latency over one second"
 
 
-def run(seed: int = 0) -> ExperimentResult:
-    result = ExperimentResult(id=ID, title=TITLE)
-    sessions = powerpoint_sessions(seed)
-    measured = {}
-    for os_name, session in sessions.items():
-        measured[os_name] = {
-            event.label: event.latency_ns / 1e9
+def _os_unit(checkpoint, os_name: str, seed: int) -> Dict[str, object]:
+    """Everything Table 1 needs from one OS's session, in integer ns."""
+    if checkpoint is not None:
+        cached = checkpoint.get(os_name)
+        if cached is not None:
+            return cached
+    session = powerpoint_session(os_name, seed)
+    unit = {
+        "measured_ns": {
+            event.label: int(event.latency_ns)
             for event in session.profile
             if event.label in TABLE1_LABELS
+        },
+        "over_1s_ns": [
+            [event.label, int(event.latency_ns)]
+            for event in sorted(
+                (e for e in session.profile if e.latency_ns > 1_000_000_000),
+                key=lambda e: -e.latency_ns,
+            )
+        ],
+    }
+    if checkpoint is not None:
+        checkpoint.record(os_name, unit)
+    return unit
+
+
+def run(seed: int = 0, checkpoint=None) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    units = {os_name: _os_unit(checkpoint, os_name, seed) for os_name in NT_OS}
+    measured: Dict[str, Dict[str, float]] = {
+        os_name: {
+            label: ns / 1e9 for label, ns in units[os_name]["measured_ns"].items()
         }
+        for os_name in units
+    }
 
     table = TextTable(
         ["event", "paper 3.51 s", "paper 4.0 s", "ours 3.51 s", "ours 4.0 s"],
@@ -43,16 +77,15 @@ def run(seed: int = 0) -> ExperimentResult:
         )
     result.tables.append(table)
 
-    over_1s = {
-        os_name: sorted(
-            (e for e in sessions[os_name].profile if e.latency_ns > 1_000_000_000),
-            key=lambda e: -e.latency_ns,
-        )
-        for os_name in sessions
+    over_1s: Dict[str, List[List[object]]] = {
+        os_name: [
+            [label, ns / 1e9] for label, ns in units[os_name]["over_1s_ns"]
+        ]
+        for os_name in units
     }
     result.data = {
         "measured": measured,
-        "over_1s": {k: [(e.label, e.latency_ns / 1e9) for e in v] for k, v in over_1s.items()},
+        "over_1s": {k: [(label, s) for label, s in v] for k, v in over_1s.items()},
     }
 
     result.check(
@@ -62,8 +95,8 @@ def run(seed: int = 0) -> ExperimentResult:
     )
     result.check(
         "save is the longest event on both systems",
-        all(v and v[0].label == "save-document" for v in over_1s.values()),
-        ", ".join(f"{k}: {v[0].label if v else '-'}" for k, v in over_1s.items()),
+        all(v and v[0][0] == "save-document" for v in over_1s.values()),
+        ", ".join(f"{k}: {v[0][0] if v else '-'}" for k, v in over_1s.items()),
     )
     result.check(
         "NT 4.0 saves slower than NT 3.51 (the Table 1 inversion)",
@@ -79,7 +112,7 @@ def run(seed: int = 0) -> ExperimentResult:
             f"{measured['nt40'].get(label, 0):.2f} vs "
             f"{measured['nt351'].get(label, 0):.2f} s",
         )
-    for os_name in sessions:
+    for os_name in units:
         edits = [
             measured[os_name].get(f"ole-edit-{i}", 0.0) for i in (1, 2, 3)
         ]

@@ -40,6 +40,12 @@ class TraceBuffer(Generic[T]):
         self.capacity = capacity
         self.on_full = on_full
         self.dropped = 0
+        #: Records overwritten by the 'wrap' policy.  Like ``dropped``,
+        #: a non-zero count means the buffer no longer holds the full
+        #: history — downstream integrity checks that need every record
+        #: (see :mod:`repro.verify.invariants`) must treat their result
+        #: as *skipped*, not *passed*.
+        self.overwritten = 0
         self._records: List[T] = []
         self._wrap_start = 0
 
@@ -54,6 +60,17 @@ class TraceBuffer(Generic[T]):
     def space_left(self) -> int:
         return max(0, self.capacity - len(self._records))
 
+    @property
+    def lossy(self) -> bool:
+        """True when the buffer no longer holds the complete history.
+
+        A 'stop' buffer that dropped records or a 'wrap' ring that
+        overwrote them both yield a partial trace: analyses over it are
+        still valid for the retained window, but integrity invariants
+        that require the full record stream are not evaluable.
+        """
+        return self.dropped > 0 or self.overwritten > 0
+
     def append(self, record: T) -> bool:
         """Add a record.  Returns False when dropped by the 'stop' policy."""
         if not self.full:
@@ -67,6 +84,7 @@ class TraceBuffer(Generic[T]):
         # wrap
         self._records[self._wrap_start] = record
         self._wrap_start = (self._wrap_start + 1) % self.capacity
+        self.overwritten += 1
         return True
 
     def records(self) -> List[T]:
@@ -87,3 +105,4 @@ class TraceBuffer(Generic[T]):
         self._records.clear()
         self._wrap_start = 0
         self.dropped = 0
+        self.overwritten = 0

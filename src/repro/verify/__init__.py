@@ -1,0 +1,59 @@
+"""Measurement-integrity subsystem: invariants, golden traces, checkpoints.
+
+The paper's methodology only works because the authors *validated*
+their instruments before trusting them — Section 3 / Figure 1
+calibrates the idle loop against workloads of known length before any
+cross-OS comparison is made.  This package is the reproduction's
+equivalent layer, applied continuously instead of once:
+
+* :mod:`repro.verify.invariants` — a registry of named runtime
+  invariants (time conservation, FSM legality, sample-sum
+  reconciliation, queue conservation, counter sanity) evaluated over
+  the evidence of a completed run; violations are structured records
+  that surface into run manifests and the ``--strict-invariants``
+  runner flag (exit code 3).
+* :mod:`repro.verify.evidence` — :class:`RunEvidence`, the bundle of
+  measurement artifacts the invariants consume, plus builders from a
+  :class:`~repro.core.session.SessionResult` or raw components.
+* :mod:`repro.verify.probe` — a small instrumented typing run per
+  personality/fault-scenario that produces full evidence cheaply (the
+  integrity probes behind ``--strict-invariants`` and
+  ``make verify-integrity``).
+* :mod:`repro.verify.golden` — content-addressed digests of canonical
+  experiment runs under ``tests/golden/``; ``make golden-check``
+  catches semantic drift in the simulator or analysis stack, not just
+  crashes.
+* :mod:`repro.verify.checkpoint` — crash-safe unit-level
+  checkpoint/resume for long simulations (atomic temp-file+rename
+  snapshots), wired into the runner's ``--checkpoint-dir`` /
+  ``--resume`` path.
+
+See ``docs/measurement-integrity.md`` for the invariant catalog and
+the paper section each invariant derives from.
+"""
+
+from .checkpoint import Checkpointer
+from .evidence import EventRecord, RunEvidence, evidence_from_session
+from .invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+    check_payload,
+    invariant_names,
+    summarize_reports,
+)
+from .probe import gather_probe_evidence
+
+__all__ = [
+    "Checkpointer",
+    "EventRecord",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "RunEvidence",
+    "check_payload",
+    "evidence_from_session",
+    "gather_probe_evidence",
+    "invariant_names",
+    "summarize_reports",
+]

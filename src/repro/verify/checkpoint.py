@@ -1,0 +1,165 @@
+"""Crash-safe checkpoint/resume for long simulations.
+
+A long experiment is a sequence of deterministic *units* — one
+measurement run per (OS, workload, fault-plan) combination, each a pure
+function of ``(code, seed, unit key)``.  A :class:`Checkpointer`
+snapshots each completed unit's serialized result to disk atomically
+(temp file + :func:`os.replace`), so a run killed by SIGKILL, a
+watchdog timeout or a power failure resumes from the last snapshot
+instead of restarting: completed units are served from the checkpoint,
+and because units are deterministic the resumed run's final artifact is
+byte-identical to an uninterrupted run (the property
+``tests/test_verify_checkpoint.py`` kills a real process to verify).
+
+Identity discipline: a checkpoint records the ``(experiment_id, seed,
+code_version, variant)`` identity it was written under.  A checkpoint
+whose identity does not match the resuming run — a different seed, a
+code change, a different fault plan — is *ignored entirely*; stale
+state can slow a run down (it restarts) but can never contaminate it.
+
+The snapshot cadence is ``interval`` units per write (the runner's
+``--checkpoint-interval``): a crash loses at most the last ``interval``
+completed units, never the whole run.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+__all__ = ["Checkpointer", "checkpoint_path"]
+
+_FORMAT_VERSION = 1
+
+
+def checkpoint_path(
+    directory: Union[str, Path],
+    experiment_id: str,
+    seed: int,
+    variant: str = "",
+) -> Path:
+    """Canonical checkpoint filename for one job."""
+    suffix = f"-v{variant}" if variant else ""
+    return Path(directory) / f"{experiment_id}-seed{seed}{suffix}.ckpt.json"
+
+
+class Checkpointer:
+    """Unit-level snapshot store for one long run.
+
+    ``identity`` pins the checkpoint to one exact computation; any
+    existing file with a different identity (or any unreadable or
+    malformed file) is treated as absent.  Unit payloads must be
+    JSON-serializable; they are deep-copied on the way in and out so
+    simulation state can never leak between runs through the cache.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        identity: Mapping[str, object],
+        interval: int = 1,
+    ) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.path = Path(path)
+        self.identity: Dict[str, object] = dict(identity)
+        self.interval = int(interval)
+        self._units: Dict[str, object] = {}
+        self._order: List[str] = []
+        self._pending = 0
+        #: Unit keys served from a pre-existing snapshot (resume audit).
+        self.resumed_units: List[str] = []
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("kind") != "sim-checkpoint"
+            or data.get("identity") != self.identity
+            or not isinstance(data.get("units"), dict)
+            or not isinstance(data.get("completed"), list)
+        ):
+            return  # stale or corrupt: ignore, never contaminate
+        completed = [key for key in data["completed"] if key in data["units"]]
+        self._units = {key: data["units"][key] for key in completed}
+        self._order = completed
+        self.resumed_units = list(completed)
+
+    def flush(self) -> Optional[Path]:
+        """Atomically persist the snapshot; ``None`` if unwritable."""
+        payload = {
+            "format": _FORMAT_VERSION,
+            "kind": "sim-checkpoint",
+            "identity": self.identity,
+            "completed": list(self._order),
+            "units": self._units,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps(payload, sort_keys=True))
+                os.replace(tmp, self.path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return None
+        self._pending = 0
+        return self.path
+
+    def discard(self) -> None:
+        """Remove the snapshot file (a finished run consumes it)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Units
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._units
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    @property
+    def completed(self) -> List[str]:
+        """Completed unit keys, in completion order."""
+        return list(self._order)
+
+    def get(self, key: str):
+        """The stored payload for ``key``, or ``None`` if not completed."""
+        if key not in self._units:
+            return None
+        return copy.deepcopy(self._units[key])
+
+    def record(self, key: str, payload) -> None:
+        """Mark ``key`` complete with ``payload``; snapshot per the cadence.
+
+        Re-recording an existing key overwrites it (last write wins) —
+        the deterministic-unit contract makes that a no-op in practice.
+        """
+        payload = copy.deepcopy(payload)
+        json.dumps(payload)  # fail fast on unserializable state
+        if key not in self._units:
+            self._order.append(key)
+        self._units[key] = payload
+        self._pending += 1
+        if self._pending >= self.interval:
+            self.flush()

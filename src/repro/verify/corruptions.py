@@ -1,0 +1,146 @@
+"""Seeded evidence corruptions: one named defect per invariant.
+
+Each corruption takes healthy :class:`~repro.verify.evidence.RunEvidence`
+and plants exactly one class of measurement defect — a shuffled
+timestamp, a lost dequeue, a span gap — chosen so that *exactly* the
+matching invariant trips and every other invariant still passes.  That
+second half is the important one: it proves the catalog's invariants
+are independent (each really checks its own property, normalizing away
+its siblings'), so a real violation in a real run points at one cause
+instead of lighting the whole board.
+
+Used by ``make verify-integrity`` as a self-test of the checker and by
+the property-based tests, which apply every corruption to evidence from
+every personality x fault-scenario combination.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, NamedTuple
+
+from ..core.fsm import UserState
+from .evidence import RunEvidence
+
+__all__ = ["CORRUPTIONS", "Corruption", "corrupt"]
+
+
+class Corruption(NamedTuple):
+    """A named seeded defect and the invariant it must trip."""
+
+    description: str
+    trips: str
+    apply: Callable[[RunEvidence], None]
+
+
+def _shuffled_timestamps(ev: RunEvidence) -> None:
+    times = ev.record_times_ns
+    if len(times) < 2:
+        raise ValueError("need at least two records to shuffle")
+    # Swap the two most distant records: maximally out of order, while
+    # the *sorted* stream (sample-sum's view) is untouched.
+    times[0], times[-1] = times[-1], times[0]
+
+
+def _dropped_dequeue(ev: RunEvidence) -> None:
+    if ev.queue_stats.get("retrieved", 0) < 1:
+        raise ValueError("need at least one retrieval to drop")
+    ev.queue_stats["retrieved"] -= 1
+
+
+def _span_gap_and_overlap(ev: RunEvidence) -> None:
+    """Open a gap in one span and an equal overlap in a same-state span.
+
+    Shifting time between two spans of the *same* state keeps the state
+    sequence and the per-state totals intact (so ``fsm-transition-
+    legality`` stays green) while breaking exact tiling — the property
+    ``time-conservation`` owns.
+    """
+    spans = ev.spans
+    candidates = [
+        index
+        for index in range(len(spans) - 1)
+        if spans[index].duration_ns >= 2
+    ]
+    pair = None
+    for position, left in enumerate(candidates):
+        for right in candidates[position + 1 :]:
+            if spans[left].state == spans[right].state:
+                pair = (left, right)
+                break
+        if pair:
+            break
+    if pair is None:
+        raise ValueError("need two same-state spans with successors")
+    shrink, grow = pair
+    delta = max(1, min(spans[shrink].duration_ns - 1, 1_000))
+    spans[shrink].end_ns -= delta  # gap before the next span
+    spans[grow].end_ns += delta  # equal overlap with its successor
+
+
+def _illegal_self_edge(ev: RunEvidence) -> None:
+    if len(ev.spans) < 2:
+        raise ValueError("need at least two spans to forge a self-edge")
+    # Flip one interior span's state to match its neighbour: an edge
+    # Figure 2 does not have.  Boundary times are untouched, so
+    # time-conservation still holds.
+    span = ev.spans[1]
+    span.state = (
+        UserState.WAIT if span.state == UserState.THINK else UserState.THINK
+    )
+
+
+def _negative_counter(ev: RunEvidence) -> None:
+    ev.counter_deltas["cycles"] = -5
+
+
+def _inflated_busy(ev: RunEvidence) -> None:
+    if not ev.events:
+        raise ValueError("need at least one event to inflate")
+    # Claim ~17 minutes of busy time nothing measured.  Latency is left
+    # alone so counter-sanity's attributed-latency bound still holds.
+    ev.events[0].busy_ns += 10**12
+
+
+#: The fixture catalog: corruption name -> (description, invariant, fn).
+CORRUPTIONS: Dict[str, Corruption] = {
+    "shuffled-timestamps": Corruption(
+        "two idle-loop records swapped out of order",
+        "monotonic-timestamps",
+        _shuffled_timestamps,
+    ),
+    "dropped-dequeue": Corruption(
+        "one message retrieval lost from the queue accounting",
+        "queue-conservation",
+        _dropped_dequeue,
+    ),
+    "span-gap": Corruption(
+        "a gap and an equal same-state overlap planted in the timeline",
+        "time-conservation",
+        _span_gap_and_overlap,
+    ),
+    "illegal-self-edge": Corruption(
+        "an interior span's state flipped to match its neighbour",
+        "fsm-transition-legality",
+        _illegal_self_edge,
+    ),
+    "negative-counter": Corruption(
+        "a hardware counter delta driven negative",
+        "counter-sanity",
+        _negative_counter,
+    ),
+    "inflated-busy": Corruption(
+        "busy time attributed far beyond the elongation total",
+        "sample-sum-consistency",
+        _inflated_busy,
+    ),
+}
+
+
+def corrupt(evidence: RunEvidence, name: str) -> RunEvidence:
+    """A deep copy of ``evidence`` with the named corruption applied."""
+    if name not in CORRUPTIONS:
+        raise KeyError(f"unknown corruption {name!r}; known: {sorted(CORRUPTIONS)}")
+    corrupted = copy.deepcopy(evidence)
+    CORRUPTIONS[name].apply(corrupted)
+    return corrupted

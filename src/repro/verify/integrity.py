@@ -1,0 +1,150 @@
+"""``make verify-integrity``: the full measurement-integrity sweep.
+
+Four stages, cheapest-first:
+
+1. **Probe matrix** — run the instrumented integrity probe on every
+   personality under the empty fault plan *and* every named fault
+   scenario, and require every catalog invariant to pass (``skipped``
+   is only acceptable for full-history invariants over a lossy trace,
+   which the standard probe never produces).
+2. **Corruption self-test** — apply every seeded corruption fixture to
+   healthy evidence and require that *exactly* the matching invariant
+   trips.  A checker that cannot catch a planted defect, or that lights
+   up unrelated invariants, is itself the bug.
+3. **Payload invariants** — run the golden-set experiments and check
+   the archived payload invariants over their serialized results.
+4. **Golden digests** — compare the same payloads against the
+   content-addressed records under ``tests/golden/``.
+
+Exit status: 3 when any invariant fails (stages 1-3, matching the
+runner's reserved invariant-failure exit code), 1 when only golden
+digests drifted, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .corruptions import CORRUPTIONS, corrupt
+from .golden import GOLDEN_SET, golden_path, payload_digest
+from .invariants import InvariantChecker, check_payload
+from .probe import PERSONALITIES, gather_probe_evidence
+
+__all__ = ["run_probe_matrix", "run_corruption_selftest", "main"]
+
+
+def run_probe_matrix(seed: int = 0, verbose: bool = True) -> List[str]:
+    """Stage 1.  Returns a list of human-readable failure lines."""
+    from ..faults import scenario_names
+
+    checker = InvariantChecker()
+    failures: List[str] = []
+    for os_name in PERSONALITIES:
+        for scenario in (None, *scenario_names()):
+            evidence = gather_probe_evidence(os_name, seed=seed, scenario=scenario)
+            reports = checker.check(evidence)
+            label = f"{os_name}/{scenario or 'healthy'}"
+            bad = [r for r in reports if r.status != "passed"]
+            if bad:
+                for report in bad:
+                    failures.append(
+                        f"probe {label}: {report.name} {report.status}"
+                        + (f" — {report.detail}" if report.detail else "")
+                    )
+            elif verbose:
+                print(f"integrity: ok      probe {label} ({len(reports)} invariants)")
+    return failures
+
+
+def run_corruption_selftest(seed: int = 0, verbose: bool = True) -> List[str]:
+    """Stage 2.  Returns a list of human-readable failure lines."""
+    checker = InvariantChecker()
+    evidence = gather_probe_evidence(PERSONALITIES[1], seed=seed)
+    failures: List[str] = []
+    for name, spec in CORRUPTIONS.items():
+        reports = checker.check(corrupt(evidence, name))
+        tripped = [r.name for r in reports if r.status == "failed"]
+        if tripped == [spec.trips]:
+            if verbose:
+                print(f"integrity: ok      corruption {name} -> {spec.trips}")
+        else:
+            failures.append(
+                f"corruption {name}: expected exactly [{spec.trips}] "
+                f"to trip, got {tripped}"
+            )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.integrity",
+        description="Run the full measurement-integrity sweep.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quiet", action="store_true", help="print failures only"
+    )
+    parser.add_argument(
+        "--skip-golden", action="store_true", help="skip the golden-digest stage"
+    )
+    args = parser.parse_args(argv)
+    verbose = not args.quiet
+
+    invariant_failures: List[str] = []
+    invariant_failures += run_probe_matrix(seed=args.seed, verbose=verbose)
+    invariant_failures += run_corruption_selftest(seed=args.seed, verbose=verbose)
+
+    # Stages 3 + 4 share one run per golden pair.
+    from ..core.serialize import experiment_to_dict
+    from ..experiments.registry import run_experiment
+
+    golden_failures: List[str] = []
+    for experiment_id, seed in GOLDEN_SET:
+        payload = experiment_to_dict(run_experiment(experiment_id, seed=seed))
+        label = f"{experiment_id} seed={seed}"
+        bad = [r for r in check_payload(payload) if r.status == "failed"]
+        if bad:
+            for report in bad:
+                invariant_failures.append(
+                    f"payload {label}: {report.name} — {report.detail}"
+                )
+        elif verbose:
+            print(f"integrity: ok      payload {label}")
+        if args.skip_golden:
+            continue
+        path = golden_path(experiment_id, seed)
+        try:
+            import json
+
+            expected = json.loads(path.read_text()).get("digest")
+        except (OSError, ValueError):
+            expected = None
+        actual = payload_digest(payload)
+        if expected == actual:
+            if verbose:
+                print(f"integrity: ok      golden {label}")
+        elif expected is None:
+            golden_failures.append(
+                f"golden {label}: record missing "
+                f"(python -m repro.verify.golden --update)"
+            )
+        else:
+            golden_failures.append(
+                f"golden {label}: digest drift (expected {expected}, "
+                f"got {actual}); re-bless with --update if intentional"
+            )
+
+    for line in invariant_failures + golden_failures:
+        print(f"integrity: FAIL    {line}")
+    if invariant_failures:
+        return 3  # reserved: invariant failure (matches the runner)
+    if golden_failures:
+        return 1
+    print("integrity: all stages passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Property-based integrity: invariants over the full fault matrix.
+
+Two families:
+
+* Exhaustive — every named fault scenario on every measured personality
+  yields evidence the whole catalog passes.  Faults degrade the system
+  under test; they must never break the measurement's own accounting.
+* Adversarial (hypothesis) — randomized trace corruptions (shuffled
+  timestamp permutations, arbitrary dequeue losses, randomized busy
+  inflation) always trip the matching invariant, whatever shape the
+  randomness takes.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import scenario_names
+from repro.verify import InvariantChecker, gather_probe_evidence, summarize_reports
+from repro.verify.probe import PERSONALITIES
+
+CHECKER = InvariantChecker()
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    return gather_probe_evidence("nt40", seed=7)
+
+
+@pytest.mark.parametrize("os_name", PERSONALITIES)
+@pytest.mark.parametrize("scenario", sorted(scenario_names()))
+def test_all_invariants_pass_under_every_scenario(os_name, scenario):
+    evidence = gather_probe_evidence(os_name, seed=0, scenario=scenario)
+    reports = CHECKER.check(evidence)
+    summary = summarize_reports(reports)
+    assert not summary["failed"], summary
+    assert not summary["skipped"], summary
+
+
+def _failed(evidence):
+    return [r.name for r in CHECKER.check(evidence) if r.failed]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_any_timestamp_disorder_trips_monotonicity(healthy, data):
+    evidence = copy.deepcopy(healthy)
+    times = evidence.record_times_ns
+    permutation = data.draw(st.permutations(range(len(times))))
+    shuffled = [times[i] for i in permutation]
+    evidence.record_times_ns = shuffled
+    if shuffled == sorted(shuffled):
+        assert _failed(evidence) == []
+    else:
+        assert _failed(evidence) == ["monotonic-timestamps"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(loss=st.integers(min_value=1, max_value=10**6))
+def test_any_dequeue_loss_trips_queue_conservation(healthy, loss):
+    evidence = copy.deepcopy(healthy)
+    evidence.queue_stats["retrieved"] = max(
+        0, evidence.queue_stats["retrieved"] - loss
+    )
+    assert _failed(evidence) == ["queue-conservation"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=10**6),
+    extra_ns=st.integers(min_value=10**10, max_value=10**15),
+)
+def test_any_large_busy_inflation_trips_sample_sum(healthy, index, extra_ns):
+    evidence = copy.deepcopy(healthy)
+    assert evidence.events, "probe evidence must contain events"
+    evidence.events[index % len(evidence.events)].busy_ns += extra_ns
+    assert _failed(evidence) == ["sample-sum-consistency"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    delta=st.integers(min_value=-10**9, max_value=-1),
+    counter=st.sampled_from(["cycles", "made-up-counter"]),
+)
+def test_any_negative_counter_delta_trips_counter_sanity(healthy, delta, counter):
+    evidence = copy.deepcopy(healthy)
+    evidence.counter_deltas[counter] = delta
+    assert _failed(evidence) == ["counter-sanity"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(shift=st.integers(min_value=1, max_value=500))
+def test_any_span_shift_breaks_time_conservation(healthy, shift):
+    """Shaving any amount off an interior same-state pair (gap one side,
+    overlap the other) is caught, however small."""
+    evidence = copy.deepcopy(healthy)
+    spans = evidence.spans
+    pairs = [
+        (i, j)
+        for i in range(len(spans) - 1)
+        for j in range(i + 1, len(spans) - 1)
+        if spans[i].state == spans[j].state and spans[i].duration_ns > shift
+    ]
+    assert pairs, "probe evidence must contain a same-state span pair"
+    left, right = pairs[0]
+    spans[left].end_ns -= shift
+    spans[right].end_ns += shift
+    assert _failed(evidence) == ["time-conservation"]

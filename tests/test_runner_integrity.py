@@ -1,0 +1,143 @@
+"""Runner integration of the integrity subsystem.
+
+Exit code 3 is reserved for measurement-invariant failure under
+``--strict-invariants``; manifests carry per-job payload-invariant
+outcomes and (in strict mode) the probe-matrix records; ``--scenario``
+is validated and recorded for resume.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialize import load_json
+from repro.experiments import runner
+from repro.experiments.runner import EXIT_INTERRUPTED, EXIT_INVARIANT, main
+from repro.verify.invariants import InvariantReport
+
+
+def test_exit_codes_are_distinct():
+    assert EXIT_INVARIANT == 3
+    assert len({0, 1, 2, EXIT_INVARIANT, EXIT_INTERRUPTED}) == 5
+
+
+def test_strict_invariants_pass_is_exit_zero(tmp_path, capsys):
+    code = main(
+        [
+            "fig4",
+            "--no-cache",
+            "--checks-only",
+            "--strict-invariants",
+            "--save",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    manifest = load_json(tmp_path / "manifest.json")
+    integrity = manifest["integrity"]
+    assert integrity["strict"] is True
+    assert integrity["invariant_failures"] == 0
+    assert len(integrity["probes"]) == 3  # one healthy probe per OS
+    for record in integrity["probes"]:
+        assert not record["summary"]["failed"]
+    (entry,) = manifest["experiments"]
+    assert entry["invariants"]["failed"] == []
+    assert "payload-well-formed" in entry["invariants"]["passed"]
+
+
+def test_strict_invariant_failure_is_exit_three(tmp_path, monkeypatch, capsys):
+    def broken_matrix(scenario, seed):
+        return [
+            {
+                "os": "nt40",
+                "scenario": "",
+                "summary": {
+                    "passed": [],
+                    "failed": ["time-conservation"],
+                    "skipped": [],
+                },
+                "violations": [
+                    {
+                        "invariant": "time-conservation",
+                        "message": "planted",
+                        "context": {},
+                    }
+                ],
+            }
+        ]
+
+    monkeypatch.setattr(runner, "_strict_probe_matrix", broken_matrix)
+    code = main(
+        ["fig4", "--no-cache", "--checks-only", "--strict-invariants",
+         "--save", str(tmp_path)]
+    )
+    assert code == EXIT_INVARIANT
+    err = capsys.readouterr().err
+    assert "invariant FAILED: time-conservation" in err
+    manifest = load_json(tmp_path / "manifest.json")
+    assert manifest["integrity"]["invariant_failures"] == 1
+    assert manifest["integrity"]["probes"][0]["violations"]
+
+
+def test_without_strict_flag_invariants_do_not_gate_exit(tmp_path, monkeypatch):
+    """Payload invariants are recorded either way, but only strict mode
+    turns them into exit code 3."""
+    code = main(["fig4", "--no-cache", "--checks-only", "--save", str(tmp_path)])
+    assert code == 0
+    manifest = load_json(tmp_path / "manifest.json")
+    assert manifest["integrity"]["strict"] is False
+    assert "probes" not in manifest["integrity"]
+
+
+def test_unknown_scenario_is_a_usage_error(capsys):
+    assert main(["fig4", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bad_checkpoint_interval_is_a_usage_error(capsys):
+    assert main(["fig4", "--checkpoint-interval", "0"]) == 2
+
+
+def test_scenario_is_recorded_and_reused_on_resume(tmp_path, capsys):
+    code = main(
+        [
+            "ext-faults",
+            "--no-cache",
+            "--checks-only",
+            "--scenario",
+            "degraded",
+            "--save",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    manifest = load_json(tmp_path / "manifest.json")
+    assert manifest["run_kwargs"] == {"scenario": "degraded"}
+    # a resume without --scenario picks the recorded one back up
+    code = main(["--resume", str(tmp_path), "--checks-only", "--no-cache"])
+    assert code == 0
+    manifest = load_json(tmp_path / "manifest.json")
+    assert manifest["run_kwargs"] == {"scenario": "degraded"}
+    (entry,) = manifest["experiments"]
+    assert entry["resumed"] is True  # nothing needed re-running
+
+
+def test_checkpoint_dir_flag_reaches_the_experiment(tmp_path):
+    ckdir = tmp_path / "ck"
+    code = main(
+        [
+            "ext-faults",
+            "--no-cache",
+            "--checks-only",
+            "--checkpoint-dir",
+            str(ckdir),
+            "--jobs",
+            "1",
+        ]
+    )
+    assert code == 0
+    # the run completed, so its snapshot was consumed
+    assert ckdir.exists()
+    assert not list(ckdir.glob("*.ckpt.json"))

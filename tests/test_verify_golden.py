@@ -1,0 +1,74 @@
+"""Golden-trace regression: digests, drift detection, the CLI flow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialize import experiment_to_dict
+from repro.experiments.registry import run_experiment
+from repro.verify import golden
+
+
+def test_canonical_json_is_order_independent():
+    a = golden.canonical_json({"b": 1, "a": [1, 2]})
+    b = golden.canonical_json({"a": [1, 2], "b": 1})
+    assert a == b
+    assert golden.payload_digest({"b": 1, "a": [1, 2]}) == golden.payload_digest(
+        {"a": [1, 2], "b": 1}
+    )
+
+
+def test_digest_is_content_addressed():
+    assert golden.payload_digest({"x": 1}) != golden.payload_digest({"x": 2})
+    assert golden.payload_digest({"x": 1}).startswith("sha256:")
+
+
+def test_committed_golden_records_match_current_code():
+    """The in-repo records are the regression gate: any semantic drift
+    in the simulator or analysis stack shows up here."""
+    for entry in golden.check_golden():
+        assert entry["status"] == "matched", entry
+
+
+def test_update_then_check_roundtrip(tmp_path):
+    pairs = [("fig4", 0)]
+    written = golden.update_golden(pairs, directory=tmp_path)
+    assert [p.name for p in written] == ["fig4-seed0.json"]
+    record = json.loads(written[0].read_text())
+    assert record["kind"] == "golden-record"
+    assert record["summary"]["checks"], "summary must list the shape checks"
+    (entry,) = golden.check_golden(pairs, directory=tmp_path)
+    assert entry["status"] == "matched"
+
+
+def test_missing_and_drifted_records_are_distinguished(tmp_path):
+    pairs = [("fig4", 0)]
+    (entry,) = golden.check_golden(pairs, directory=tmp_path)
+    assert entry["status"] == "missing"
+
+    golden.update_golden(pairs, directory=tmp_path)
+    path = golden.golden_path("fig4", 0, tmp_path)
+    record = json.loads(path.read_text())
+    record["digest"] = "sha256:" + "0" * 64
+    path.write_text(json.dumps(record))
+    (entry,) = golden.check_golden(pairs, directory=tmp_path)
+    assert entry["status"] == "drifted"
+    assert entry["expected"] != entry["actual"]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert golden.main(["--update", "--dir", str(tmp_path)]) == 0
+    assert golden.main(["--dir", str(tmp_path)]) == 0
+    # remove one record: the check must fail loudly
+    golden.golden_path("fig2", 0, tmp_path).unlink()
+    assert golden.main(["--dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "MISSING" in out
+
+
+def test_golden_digest_matches_fresh_serialization():
+    payload = experiment_to_dict(run_experiment("fig4", seed=0))
+    record = json.loads(golden.golden_path("fig4", 0).read_text())
+    assert record["digest"] == golden.payload_digest(payload)

@@ -1,0 +1,164 @@
+"""The invariant catalog: healthy runs pass, corruptions trip exactly.
+
+The contract under test is surgical separation (see
+``repro.verify.corruptions``): every named corruption fixture must trip
+*exactly* its matching invariant, and healthy evidence — probe runs and
+full measurement sessions, with and without fault scenarios — must pass
+the whole catalog.  Lossy traces must mark full-history invariants
+``skipped``, never ``passed``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import (
+    InvariantChecker,
+    evidence_from_session,
+    gather_probe_evidence,
+    invariant_names,
+    summarize_reports,
+)
+from repro.verify.corruptions import CORRUPTIONS, corrupt
+from repro.verify.probe import PERSONALITIES
+
+CATALOG = (
+    "time-conservation",
+    "fsm-transition-legality",
+    "monotonic-timestamps",
+    "sample-sum-consistency",
+    "queue-conservation",
+    "counter-sanity",
+)
+
+FULL_HISTORY = ("monotonic-timestamps", "sample-sum-consistency")
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    return gather_probe_evidence("nt40", seed=3)
+
+
+def test_catalog_names_and_order():
+    assert invariant_names() == list(CATALOG)
+
+
+def test_every_corruption_has_a_catalog_target():
+    assert {c.trips for c in CORRUPTIONS.values()} == set(CATALOG)
+
+
+@pytest.mark.parametrize("os_name", PERSONALITIES)
+def test_healthy_probe_passes_everything(os_name):
+    reports = InvariantChecker().check(gather_probe_evidence(os_name, seed=3))
+    assert [r.status for r in reports] == ["passed"] * len(CATALOG)
+
+
+def test_faulted_probe_passes_everything():
+    evidence = gather_probe_evidence("win95", seed=3, scenario="degraded")
+    reports = InvariantChecker().check(evidence)
+    assert all(r.passed for r in reports), summarize_reports(reports)
+
+
+def test_session_evidence_passes_everything():
+    from repro.core.session import MeasurementSession
+    from repro.verify.probe import IntegrityProbeApp
+    from repro.workload import InputScript, type_text_actions
+
+    session = MeasurementSession("nt351", IntegrityProbeApp, seed=5).run(
+        InputScript(type_text_actions("hello world"))
+    )
+    reports = InvariantChecker().check(evidence_from_session(session, seed=5))
+    assert all(r.passed for r in reports), summarize_reports(reports)
+
+
+@pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+def test_corruption_trips_exactly_its_invariant(healthy, name):
+    spec = CORRUPTIONS[name]
+    reports = InvariantChecker().check(corrupt(healthy, name))
+    failed = [r.name for r in reports if r.failed]
+    assert failed == [spec.trips], (
+        f"{name} should trip exactly {spec.trips}, tripped {failed}"
+    )
+    tripped = next(r for r in reports if r.failed)
+    assert tripped.violations, "a failed invariant must carry violations"
+    assert all(v.invariant == spec.trips for v in tripped.violations)
+
+
+def test_corruption_does_not_mutate_the_original(healthy):
+    before = list(healthy.record_times_ns)
+    corrupt(healthy, "shuffled-timestamps")
+    assert healthy.record_times_ns == before
+
+
+def test_lossy_trace_skips_full_history_invariants():
+    evidence = gather_probe_evidence("nt40", seed=1, buffer_capacity=50)
+    assert evidence.trace_lossy
+    summary = summarize_reports(InvariantChecker().check(evidence))
+    assert summary["skipped"] == list(FULL_HISTORY)
+    assert not summary["failed"]
+
+
+def test_lossy_corrupted_trace_never_reports_passed(healthy):
+    """Even a defective stream must not be 'passed' once lossy."""
+    evidence = corrupt(healthy, "shuffled-timestamps")
+    evidence.trace_lossy = True
+    reports = {r.name: r for r in InvariantChecker().check(evidence)}
+    assert reports["monotonic-timestamps"].status == "skipped"
+
+
+def test_checker_selects_and_rejects_names(healthy):
+    reports = InvariantChecker(["queue-conservation"]).check(healthy)
+    assert [r.name for r in reports] == ["queue-conservation"]
+    with pytest.raises(ValueError, match="unknown invariants"):
+        InvariantChecker(["not-a-real-invariant"])
+
+
+def test_violation_records_are_structured(healthy):
+    evidence = corrupt(healthy, "dropped-dequeue")
+    report = next(
+        r for r in InvariantChecker().check(evidence) if r.failed
+    )
+    record = report.to_dict()
+    assert record["status"] == "failed"
+    assert record["paper"]
+    violation = record["violations"][0]
+    assert violation["invariant"] == "queue-conservation"
+    assert "posted" in violation["context"]
+
+
+def test_reports_carry_paper_anchors(healthy):
+    for report in InvariantChecker().check(healthy):
+        assert report.paper, f"{report.name} lacks a paper anchor"
+
+
+def test_payload_invariants_pass_on_real_payload():
+    from repro.core.serialize import experiment_to_dict
+    from repro.experiments.registry import run_experiment
+    from repro.verify import check_payload
+
+    payload = experiment_to_dict(run_experiment("fig4", seed=0))
+    assert all(r.passed for r in check_payload(payload))
+
+
+def test_payload_invariants_catch_defects():
+    from repro.verify import check_payload
+
+    statuses = {
+        r.name: r.status for r in check_payload({"kind": "something-else"})
+    }
+    assert statuses["payload-well-formed"] == "failed"
+
+    payload = {
+        "kind": "experiment-result",
+        "id": "x",
+        "checks": [{"name": "ok", "passed": True, "detail": ""}],
+        "data": {"latency_ms": -4.0, "skew_ms": -1.0},
+    }
+    reports = {r.name: r for r in check_payload(payload)}
+    assert reports["payload-well-formed"].status == "passed"
+    assert reports["payload-nonnegative-durations"].status == "failed"
+    # exempt fragments (skew/delta/diff) may go negative
+    messages = [
+        v.message for v in reports["payload-nonnegative-durations"].violations
+    ]
+    assert all("skew" not in m for m in messages)
