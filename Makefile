@@ -8,6 +8,7 @@ SMOKE_OUT   := .smoke-out
 SMOKE_CACHE := .smoke-cache
 
 .PHONY: test benchmarks experiments experiments-smoke faults-smoke \
+	obs-smoke obs-overhead \
 	verify-integrity golden-check golden-update verify clean
 
 test:
@@ -60,6 +61,35 @@ faults-smoke:
 	      (entry['faults']['total'], sorted(entry['faults']['by_os'])))"
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
 
+# CI gate for the observability layer: one cheap experiment with trace
+# and metrics outputs on; the trace must be structurally valid
+# (Perfetto-loadable), the metrics snapshot must round-trip, and the
+# stats subcommand must render the manifest.
+obs-smoke:
+	rm -rf $(SMOKE_OUT)
+	$(PYTHON) -m repro.experiments run fig1 --no-cache --checks-only \
+		--save $(SMOKE_OUT) \
+		--trace-out $(SMOKE_OUT)/trace.json \
+		--metrics-out $(SMOKE_OUT)/metrics.json
+	$(PYTHON) -c "\
+	import json; \
+	from repro.obs import validate_chrome_trace; \
+	from repro.core.serialize import load_json, metrics_from_dict; \
+	trace = load_json('$(SMOKE_OUT)/trace.json'); \
+	problems = validate_chrome_trace(trace); \
+	assert not problems, problems[:5]; \
+	metrics = metrics_from_dict(load_json('$(SMOKE_OUT)/metrics.json')); \
+	assert metrics['counters'], 'no counters collected'; \
+	print('obs smoke ok: %d trace events, %d counters' % \
+	      (len(trace['traceEvents']), len(metrics['counters'])))"
+	$(PYTHON) -m repro.experiments stats $(SMOKE_OUT)/manifest.json > /dev/null
+	rm -rf $(SMOKE_OUT)
+
+# CI gate: the disabled observability path must stay within 5% of an
+# uninstrumented run (see benchmarks/test_obs_overhead.py).
+obs-overhead:
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q
+
 # CI gate for measurement integrity: the invariant catalog must pass on
 # every OS personality under every named fault scenario, each seeded
 # trace corruption must trip exactly its matching invariant, and the
@@ -75,9 +105,9 @@ golden-check:
 golden-update:
 	$(PYTHON) -m repro.verify.golden --update
 
-# The default local verification flow: unit tests, then the
-# measurement-integrity gate.
-verify: test verify-integrity
+# The default local verification flow: unit tests, the
+# measurement-integrity gate, then the observability gates.
+verify: test verify-integrity obs-smoke obs-overhead
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache

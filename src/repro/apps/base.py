@@ -114,6 +114,19 @@ class InteractiveApp:
     # Message dispatch
     # ------------------------------------------------------------------
     def dispatch(self, message: Message) -> Iterator[Syscall]:
+        """Route one message to its handler, tracing the dispatch as an
+        app-event span when observability is attached."""
+        obs = self.system.obs
+        if obs is None:
+            yield from self._dispatch_message(message)
+            return
+        obs.app_event_begin(self.thread, message)
+        try:
+            yield from self._dispatch_message(message)
+        finally:
+            obs.app_event_end(self.thread, message)
+
+    def _dispatch_message(self, message: Message) -> Iterator[Syscall]:
         kind = message.kind
         if kind == WM.QUIT:
             self._quit = True

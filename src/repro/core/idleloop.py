@@ -85,6 +85,9 @@ class IdleLoopInstrument:
 
     def trace(self) -> SampleTrace:
         """The trace collected so far, ready for analysis."""
+        from ..obs.runtime import record_trace_loss
+
+        record_trace_loss(self.buffer, scope="idle-loop")
         return SampleTrace(self.buffer.records(), loop_ns=self.loop_ns)
 
     def reset(self) -> None:

@@ -115,6 +115,9 @@ class RunCache:
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version = version or code_version()
+        #: Corrupt entries removed by this instance (observability; a
+        #: pool worker's copy counts just its own job's evictions).
+        self.evictions = 0
 
     def entry_path(self, experiment_id: str, seed: int, variant: str = "") -> Path:
         suffix = f"-v{variant}" if variant else ""
@@ -152,13 +155,13 @@ class RunCache:
             return None
         return entry
 
-    @staticmethod
-    def _evict(path: Path) -> None:
+    def _evict(self, path: Path) -> None:
         """Best-effort removal of a corrupt entry (never raises)."""
         try:
             path.unlink()
         except OSError:
-            pass
+            return
+        self.evictions += 1
 
     def store(self, entry: dict) -> Optional[Path]:
         """Atomically persist ``entry``; returns ``None`` if unwritable."""

@@ -38,6 +38,8 @@ __all__ = [
     "cache_entry_from_dict",
     "manifest_to_dict",
     "manifest_from_dict",
+    "metrics_to_dict",
+    "metrics_from_dict",
     "save_json",
     "load_json",
 ]
@@ -242,6 +244,28 @@ def manifest_from_dict(data: dict) -> dict:
             if key not in run:
                 raise ValueError(f"manifest experiment entry missing {key!r}")
     return data
+
+
+def metrics_to_dict(snapshot: dict, *, code_version: str = "") -> dict:
+    """Wrap a :meth:`repro.obs.MetricsRegistry.snapshot` for archival
+    (the ``--metrics-out`` file and the manifest ``obs`` section)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "metrics-snapshot",
+        "code_version": code_version,
+        "metrics": snapshot,
+    }
+
+
+def metrics_from_dict(data: dict) -> dict:
+    """Validate a metrics snapshot loaded from disk; returns the inner
+    counters/gauges/histograms dict."""
+    if data.get("kind") != "metrics-snapshot":
+        raise ValueError(f"not a metrics-snapshot payload: {data.get('kind')!r}")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("metrics snapshot missing 'metrics' dict")
+    return metrics
 
 
 def _jsonable(value):

@@ -104,6 +104,20 @@ class JobResult:
     error: Optional[str] = None
     failure_kind: Optional[str] = None
     attempts: int = 1
+    #: Wall-clock seconds between pool submission and worker pickup
+    #: (0 for sequential runs); the manifest's queue-time breakdown.
+    queue_s: float = 0.0
+    #: ``time.perf_counter()`` at worker pickup (system-wide monotonic
+    #: clock, so the submitting process can subtract its submit stamp).
+    started_monotonic: float = 0.0
+    #: Checkpoint snapshots written while this job ran.
+    checkpoint_writes: int = 0
+    #: Corrupt cache entries this job evicted while loading.
+    cache_evictions: int = 0
+    #: Chrome trace-event dict for this job (obs trace requested).
+    trace: Optional[dict] = None
+    #: Metrics snapshot for this job (obs metrics requested).
+    metrics: Optional[dict] = None
 
     def failed_checks(self) -> List[str]:
         return [c["name"] for c in self.checks if not c["passed"]]
@@ -168,6 +182,7 @@ def execute_job(
     run_kwargs: Optional[dict] = None,
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 1,
+    obs: Optional[dict] = None,
 ) -> JobResult:
     """Run one job, consulting and feeding the cache.
 
@@ -185,16 +200,33 @@ def execute_job(
     ``checkpoint`` keyword get a :class:`~repro.verify.checkpoint.Checkpointer`
     pinned to this job's exact identity: a killed run resumes from its
     last snapshot, and a completed run discards it.
+
+    ``obs`` (``{"trace": bool, "metrics": bool}``) opens an
+    observability session around the execution and attaches the
+    job-local Chrome trace and metrics snapshot to the result.  An
+    observed job bypasses cache *reads* — a cached hit would yield no
+    telemetry — but still writes its entry, which determinism makes
+    harmless.
     """
     started = time.perf_counter()
     kwargs, variant = job_variant(experiment_id, run_kwargs)
-    if cache is not None and not refresh:
+    obs = obs or {}
+    want_obs = bool(obs.get("trace") or obs.get("metrics"))
+    # Sequential runs share one cache instance across jobs, so eviction
+    # attribution must be a delta, not the instance total.
+    evictions_before = cache.evictions if cache is not None else 0
+
+    def _evictions() -> int:
+        return (cache.evictions - evictions_before) if cache is not None else 0
+
+    if cache is not None and not refresh and not want_obs:
         entry = cache.load(experiment_id, seed, variant)
         if entry is not None:
             return JobResult(
                 experiment_id=experiment_id,
                 seed=seed,
                 wall_s=time.perf_counter() - started,
+                started_monotonic=started,
                 cache_hit=True,
                 rendered=entry["rendered"],
                 checks=entry["checks"],
@@ -215,19 +247,47 @@ def execute_job(
             interval=checkpoint_interval,
         )
         kwargs = dict(kwargs, checkpoint=checkpointer)
+    session = None
+    if want_obs:
+        from ..obs import runtime as obs_runtime
+
+        session = obs_runtime.start_session(
+            trace=bool(obs.get("trace")), metrics=bool(obs.get("metrics"))
+        )
     try:
         result = run_experiment(experiment_id, seed=seed, **kwargs)
     except Exception:
         if checkpointer is not None:
             checkpointer.flush()  # keep partial progress for --resume
+        from ..obs.logging import get_logger
+
+        get_logger("repro.worker").warning(
+            f"job {experiment_id} (seed {seed}) raised; returning error result"
+        )
         return JobResult(
             experiment_id=experiment_id,
             seed=seed,
             wall_s=time.perf_counter() - started,
+            started_monotonic=started,
             error=traceback.format_exc(),
             failure_kind="error",
+            checkpoint_writes=checkpointer.writes if checkpointer else 0,
+            cache_evictions=_evictions(),
         )
+    finally:
+        if session is not None:
+            obs_runtime.stop_session()
     wall = time.perf_counter() - started
+    trace_dict = None
+    metrics_snapshot = None
+    if session is not None:
+        if session.tracer is not None:
+            from ..obs.perfetto import chrome_trace
+
+            trace_dict = chrome_trace(
+                session.tracer, label=f"{experiment_id}/seed{seed}"
+            )
+        metrics_snapshot = session.metrics_snapshot()
     if checkpointer is not None:
         checkpointer.discard()  # the finished run supersedes it
     if cache is not None:
@@ -244,6 +304,7 @@ def execute_job(
         experiment_id=experiment_id,
         seed=seed,
         wall_s=wall,
+        started_monotonic=started,
         cache_hit=False,
         rendered=result.render(),
         checks=[
@@ -251,6 +312,10 @@ def execute_job(
             for c in result.checks
         ],
         payload=experiment_to_dict(result),
+        checkpoint_writes=checkpointer.writes if checkpointer else 0,
+        cache_evictions=_evictions(),
+        trace=trace_dict,
+        metrics=metrics_snapshot,
     )
 
 
@@ -353,25 +418,35 @@ def _pool_round(
     hung = False
     try:
         options = job_options or {}
-        futures = [
-            pool.submit(
-                execute_job,
-                experiment_id,
-                seed,
-                cache,
-                refresh,
-                options.get("run_kwargs"),
-                options.get("checkpoint_dir"),
-                options.get("checkpoint_interval", 1),
+        futures = []
+        submitted_at: List[float] = []
+        for _index, (experiment_id, seed) in indexed_specs:
+            submitted_at.append(time.perf_counter())
+            futures.append(
+                pool.submit(
+                    execute_job,
+                    experiment_id,
+                    seed,
+                    cache,
+                    refresh,
+                    options.get("run_kwargs"),
+                    options.get("checkpoint_dir"),
+                    options.get("checkpoint_interval", 1),
+                    options.get("obs"),
+                )
             )
-            for _index, (experiment_id, seed) in indexed_specs
-        ]
-        for (index, (experiment_id, seed)), future in zip(indexed_specs, futures):
+        for (index, (experiment_id, seed)), future, submit_stamp in zip(
+            indexed_specs, futures, submitted_at
+        ):
             try:
                 if timeout_s is None:
                     job = future.result()
                 else:
                     job = future.result(timeout_s)
+                if job.started_monotonic:
+                    # perf_counter is system-wide monotonic, so the
+                    # worker's pickup stamp is comparable to ours.
+                    job.queue_s = max(0.0, job.started_monotonic - submit_stamp)
             except FutureTimeoutError:
                 if future.cancel():
                     job = JobResult(
@@ -431,6 +506,7 @@ def run_specs(
     run_kwargs: Optional[dict] = None,
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 1,
+    obs: Optional[dict] = None,
 ) -> List[JobResult]:
     """Execute an explicit ``(experiment_id, seed)`` job list.
 
@@ -461,6 +537,7 @@ def run_specs(
         "run_kwargs": run_kwargs,
         "checkpoint_dir": checkpoint_dir,
         "checkpoint_interval": checkpoint_interval,
+        "obs": obs,
     }
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -542,6 +619,7 @@ def run_many(
     run_kwargs: Optional[dict] = None,
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 1,
+    obs: Optional[dict] = None,
 ) -> List[JobResult]:
     """Execute the ``ids × seeds`` sweep and return ordered results.
 
@@ -567,4 +645,5 @@ def run_many(
         run_kwargs=run_kwargs,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=checkpoint_interval,
+        obs=obs,
     )

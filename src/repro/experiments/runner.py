@@ -11,25 +11,48 @@
                                                  # measurement-integrity breach
     repro-experiments --scenario degraded        # sweep under a fault plan
     repro-experiments --checkpoint-dir ck/       # crash-safe long runs
+    repro-experiments run fig7 --trace-out t.json --metrics-out m.json
+                                                 # Perfetto trace + metrics
+    repro-experiments stats out/manifest.json    # telemetry from a sweep
 
-See ``docs/running-experiments.md`` for the full CLI reference.
+See ``docs/running-experiments.md`` for the full CLI reference and
+``docs/observability.md`` for the trace/metrics outputs.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import re
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..core.runcache import RunCache, code_version
-from ..core.serialize import load_json, manifest_from_dict, manifest_to_dict, save_json
+from ..core.serialize import (
+    load_json,
+    manifest_from_dict,
+    manifest_to_dict,
+    metrics_to_dict,
+    save_json,
+)
+from ..obs import (
+    LEVELS,
+    MetricsRegistry,
+    get_logger,
+    merge_chrome_traces,
+    merge_snapshots,
+    prometheus_text,
+    set_level,
+)
 from ..verify.invariants import check_payload
 from .parallel import JobResult, SweepInterrupted, run_specs
 from .registry import EXPERIMENTS, TITLES
 
 __all__ = ["main"]
+
+log = get_logger("repro.runner")
 
 #: Exit code for an interrupted sweep (shell convention: 128 + SIGINT).
 EXIT_INTERRUPTED = 130
@@ -57,6 +80,18 @@ def _parse_seeds(text: str) -> List[int]:
     return seeds
 
 
+def _normalize_id(experiment_id: str) -> str:
+    """Accept zero-padded spellings (``fig07`` → ``fig7``)."""
+    if experiment_id in EXPERIMENTS:
+        return experiment_id
+    match = re.fullmatch(r"(\D+)0+(\d+)", experiment_id)
+    if match:
+        candidate = match.group(1) + match.group(2)
+        if candidate in EXPERIMENTS:
+            return candidate
+    return experiment_id
+
+
 def _format_check(check: dict) -> str:
     status = "PASS" if check["passed"] else "FAIL"
     detail = f" — {check['detail']}" if check["detail"] else ""
@@ -74,12 +109,21 @@ def _job_completed(entry: dict, save_dir: Path) -> bool:
     return True
 
 
+def _cache_status(job: JobResult) -> str:
+    if job.error is not None:
+        return "error"
+    return "hit" if job.cache_hit else "miss"
+
+
 def _entry_from_job(job: JobResult, saved: Optional[str]) -> dict:
     entry = {
         "id": job.experiment_id,
         "seed": job.seed,
         "wall_s": job.wall_s,
+        "queue_s": job.queue_s,
         "cache_hit": job.cache_hit,
+        "cache_status": _cache_status(job),
+        "checkpoint_writes": job.checkpoint_writes,
         "failed_checks": job.failed_checks(),
         "error": job.error,
         "failure_kind": job.failure_kind,
@@ -107,6 +151,88 @@ def _entry_from_job(job: JobResult, saved: Optional[str]) -> dict:
         if violations:
             entry["invariant_violations"] = violations
     return entry
+
+
+def _harness_metrics(
+    results: List[JobResult],
+    entries: List[dict],
+    *,
+    workers: int,
+    makespan_s: float,
+) -> MetricsRegistry:
+    """Fold one sweep's job outcomes into harness-side metrics.
+
+    These complement the sim-side metrics the workers collect: cache
+    behaviour, retries, timeouts, checkpoint writes, invariant outcomes
+    and the wall/queue-time distributions of the pool itself.
+    """
+    registry = MetricsRegistry()
+    jobs_total = registry.counter(
+        "repro_harness_jobs_total", "Sweep jobs by outcome."
+    )
+    cache_reads = registry.counter(
+        "repro_harness_cache_reads_total", "Result-cache reads by outcome."
+    )
+    cache_evictions = registry.counter(
+        "repro_harness_cache_evictions_total",
+        "Corrupt result-cache entries evicted during loads.",
+    )
+    retries = registry.counter(
+        "repro_harness_retries_total",
+        "Extra execution attempts after transient pool failures.",
+    )
+    timeouts = registry.counter(
+        "repro_harness_timeouts_total", "Jobs abandoned by the watchdog."
+    )
+    checkpoint_writes = registry.counter(
+        "repro_harness_checkpoint_writes_total",
+        "Crash-safe checkpoint snapshots written.",
+    )
+    invariant_checks = registry.counter(
+        "repro_harness_invariant_checks_total",
+        "Measurement-integrity invariant outcomes on job payloads.",
+    )
+    wall_hist = registry.histogram(
+        "repro_harness_job_wall_seconds", "Per-job wall time."
+    )
+    queue_hist = registry.histogram(
+        "repro_harness_job_queue_seconds",
+        "Per-job wait between pool submission and worker pickup.",
+    )
+    registry.gauge(
+        "repro_harness_makespan_seconds", "Wall time of the whole sweep."
+    ).set(makespan_s)
+    registry.gauge(
+        "repro_harness_workers", "Worker processes used for the sweep."
+    ).set(workers)
+
+    for job in results:
+        jobs_total.inc(status=job.failure_kind or "completed")
+        wall_hist.observe(job.wall_s)
+        queue_hist.observe(job.queue_s)
+        if job.error is None:
+            cache_reads.inc(outcome=_cache_status(job))
+        if job.cache_evictions:
+            cache_evictions.inc(job.cache_evictions)
+        if job.attempts > 1:
+            retries.inc(job.attempts - 1)
+        if job.failure_kind == "timeout":
+            timeouts.inc()
+        if job.checkpoint_writes:
+            checkpoint_writes.inc(job.checkpoint_writes)
+    for entry in entries:
+        invariants = entry.get("invariants") or {}
+        for outcome in ("passed", "failed"):
+            count = len(invariants.get(outcome, ()))
+            if count:
+                invariant_checks.inc(count, outcome=outcome)
+    if results and makespan_s > 0 and workers > 0:
+        busy = sum(job.wall_s for job in results)
+        registry.gauge(
+            "repro_harness_worker_utilization",
+            "sum(job wall time) / (workers * sweep makespan), 0..1.",
+        ).set(min(1.0, busy / (workers * makespan_s)))
+    return registry
 
 
 def _strict_probe_matrix(scenario: Optional[str], seed: int) -> List[dict]:
@@ -142,6 +268,15 @@ def _strict_probe_matrix(scenario: Optional[str], seed: int) -> List[dict]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "stats":
+        from .stats import stats_main
+
+        return stats_main(argv[1:])
+    if argv and argv[0] == "run":
+        # Optional verb: ``repro-experiments run fig7`` == ``repro-experiments
+        # fig7`` (symmetry with the ``stats`` subcommand).
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -279,7 +414,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="completed units per checkpoint write (default: 1)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write a merged Chrome trace-event JSON file (loadable in "
+            "Perfetto / chrome://tracing) covering every job in the sweep"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the merged sim+harness metrics snapshot; '.prom' files "
+            "get Prometheus text format, anything else JSON"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(LEVELS, key=LEVELS.get),
+        default="info",
+        help="minimum severity for runner/worker log lines (default: info)",
+    )
     args = parser.parse_args(argv)
+    set_level(args.log_level)
 
     if args.list:
         for experiment_id, title in TITLES.items():
@@ -287,25 +447,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.retries < 0:
-        print(f"--retries must be >= 0, got {args.retries}", file=sys.stderr)
+        log.error(f"--retries must be >= 0, got {args.retries}")
         return 2
     if args.timeout is not None and args.timeout <= 0:
-        print(f"--timeout must be positive, got {args.timeout}", file=sys.stderr)
+        log.error(f"--timeout must be positive, got {args.timeout}")
         return 2
     if args.checkpoint_interval < 1:
-        print(
-            f"--checkpoint-interval must be >= 1, got {args.checkpoint_interval}",
-            file=sys.stderr,
+        log.error(
+            f"--checkpoint-interval must be >= 1, got {args.checkpoint_interval}"
         )
         return 2
     if args.scenario is not None:
         from ..faults import scenario_names
 
         if args.scenario not in scenario_names():
-            print(
+            log.error(
                 f"unknown scenario {args.scenario!r}; "
-                f"known: {', '.join(scenario_names())}",
-                file=sys.stderr,
+                f"known: {', '.join(scenario_names())}"
             )
             return 2
 
@@ -318,7 +476,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             resume_manifest = manifest_from_dict(load_json(manifest_path))
         except (OSError, ValueError) as exc:
-            print(f"cannot resume from {manifest_path}: {exc}", file=sys.stderr)
+            log.error(f"cannot resume from {manifest_path}: {exc}")
             return 2
         resume_dir = manifest_path.parent
 
@@ -326,7 +484,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             seeds = _parse_seeds(args.seed)
         except ValueError:
-            print(f"invalid --seed value: {args.seed!r}", file=sys.stderr)
+            log.error(f"invalid --seed value: {args.seed!r}")
             return 2
     elif resume_manifest is not None:
         seeds = [int(seed) for seed in resume_manifest["seeds"]]
@@ -342,14 +500,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_kwargs: Optional[dict] = {"scenario": scenario} if scenario else None
 
     if args.ids:
-        ids = args.ids
+        ids = [_normalize_id(experiment_id) for experiment_id in args.ids]
     elif resume_manifest is not None:
         ids = list(resume_manifest["ids"])
     else:
         ids = list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        log.error(f"unknown experiment ids: {', '.join(unknown)}")
         return 2
 
     cache: Optional[RunCache] = None
@@ -379,10 +537,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 preserved[key] = kept
     specs = [spec for spec in all_specs if spec not in preserved]
     if resume_manifest is not None:
-        print(
+        log.info(
             f"resuming: {len(preserved)} job(s) preserved, "
-            f"{len(specs)} to run",
-            file=sys.stderr,
+            f"{len(specs)} to run"
         )
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
@@ -395,9 +552,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         tag = f" (seed {job.seed})" if seed_tag else ""
         if job.error is not None:
             kind = f" [{job.failure_kind}]" if job.failure_kind else ""
-            print(
-                f"=== {job.experiment_id}{tag}: ERROR{kind} ===", file=sys.stderr
-            )
+            log.error(f"=== {job.experiment_id}{tag}: ERROR{kind} ===")
             print(job.error, file=sys.stderr)
         elif args.checks_only:
             cached = ", cached" if job.cache_hit else ""
@@ -418,7 +573,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             save_json(job.payload, save_dir / filename)
             saved[(job.experiment_id, job.seed)] = filename
 
+    obs_opts: Optional[dict] = None
+    if args.trace_out or args.metrics_out:
+        obs_opts = {
+            "trace": bool(args.trace_out),
+            "metrics": bool(args.metrics_out),
+        }
+
     interrupted = False
+    sweep_started = time.perf_counter()
     try:
         results = run_specs(
             specs,
@@ -432,13 +595,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_kwargs=run_kwargs,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval,
+            obs=obs_opts,
         )
     except SweepInterrupted as exc:
         # Ctrl-C: outstanding jobs were cancelled; keep what finished
         # so the manifest below still records the partial sweep.
         interrupted = True
         results = exc.results
-        print("sweep interrupted; writing partial manifest", file=sys.stderr)
+        log.warning("sweep interrupted; writing partial manifest")
+    makespan_s = time.perf_counter() - sweep_started
 
     by_spec: Dict[Tuple[str, int], JobResult] = {
         (job.experiment_id, job.seed): job for job in results
@@ -465,12 +630,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         if probe_failures:
             for record in probe_records:
                 for name in record["summary"]["failed"]:
-                    print(
+                    log.error(
                         f"invariant FAILED: {name} "
-                        f"(probe {record['os']}/{record['scenario'] or 'healthy'})",
-                        file=sys.stderr,
+                        f"(probe {record['os']}/{record['scenario'] or 'healthy'})"
                     )
         invariant_failures += probe_failures
+
+    # Observability outputs: the harness registry summarises the sweep
+    # itself; worker snapshots carry the per-job sim metrics when the
+    # obs session was on.  The merge is cheap, so the manifest always
+    # embeds it.
+    version = cache.version if cache is not None else code_version()
+    harness = _harness_metrics(
+        results, entries, workers=jobs, makespan_s=makespan_s
+    )
+    merged_metrics = merge_snapshots(
+        [job.metrics for job in results if job.metrics] + [harness.snapshot()]
+    )
+    if args.trace_out:
+        merged_trace = merge_chrome_traces(
+            [job.trace for job in results if job.trace]
+        )
+        save_json(merged_trace, args.trace_out)
+        log.info(
+            f"wrote {len(merged_trace['traceEvents'])} trace event(s) "
+            f"to {args.trace_out}"
+        )
+    if args.metrics_out:
+        metrics_path = Path(args.metrics_out)
+        if metrics_path.suffix == ".prom":
+            metrics_path.write_text(prometheus_text(merged_metrics))
+        else:
+            save_json(
+                metrics_to_dict(merged_metrics, code_version=version),
+                metrics_path,
+            )
+        log.info(f"wrote metrics snapshot to {args.metrics_out}")
 
     if save_dir is not None:
         manifest = manifest_to_dict(
@@ -481,7 +676,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "dir": str(cache.root) if cache is not None else None,
                 "refresh": args.refresh,
             },
-            code_version=cache.version if cache is not None else code_version(),
+            code_version=version,
         )
         if interrupted:
             manifest["interrupted"] = True
@@ -493,19 +688,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         }
         if probe_records is not None:
             manifest["integrity"]["probes"] = probe_records
+        manifest["obs"] = {
+            "trace_out": args.trace_out,
+            "metrics_out": args.metrics_out,
+            "makespan_s": makespan_s,
+            "metrics": merged_metrics,
+        }
         save_json(manifest, save_dir / "manifest.json")
 
     errors = sum(1 for entry in entries if entry.get("error") is not None)
     check_failures = sum(len(entry["failed_checks"]) for entry in entries)
     if errors:
-        print(f"{errors} experiment(s) failed", file=sys.stderr)
+        log.error(f"{errors} experiment(s) failed")
     if check_failures:
-        print(f"{check_failures} shape check(s) FAILED", file=sys.stderr)
+        log.error(f"{check_failures} shape check(s) FAILED")
     if invariant_failures:
-        print(
-            f"{invariant_failures} measurement invariant(s) FAILED",
-            file=sys.stderr,
-        )
+        log.error(f"{invariant_failures} measurement invariant(s) FAILED")
     if interrupted:
         return EXIT_INTERRUPTED
     if args.strict_invariants and invariant_failures:

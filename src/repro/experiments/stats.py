@@ -1,0 +1,168 @@
+"""``repro-experiments stats`` — render a sweep manifest's telemetry.
+
+A run manifest already records everything this subcommand shows (it is
+the repeatability record ``--save`` writes); ``stats`` is the human
+view: a per-job table of wall time, queue time and cache behaviour,
+sweep totals, and the merged metrics snapshot the ``obs`` section
+embeds.  Old manifests (written before the observability layer) render
+fine — the columns they lack show as ``-``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..core.report import TextTable
+from ..core.serialize import load_json, manifest_from_dict
+from ..obs import get_logger
+
+__all__ = ["render_stats", "stats_main"]
+
+log = get_logger("repro.stats")
+
+
+def _seconds(value) -> str:
+    try:
+        return f"{float(value):.2f}"
+    except (TypeError, ValueError):
+        return "-"
+
+
+def _entry_status(entry: dict) -> str:
+    if entry.get("error") is not None:
+        return entry.get("failure_kind") or "error"
+    if entry.get("failed_checks"):
+        return "checks-failed"
+    return "ok"
+
+
+def _entry_cache(entry: dict) -> str:
+    status = entry.get("cache_status")
+    if status is not None:
+        return status
+    return "hit" if entry.get("cache_hit") else "miss"
+
+
+def _metric_lines(section: dict, suffix: str = "") -> List[str]:
+    lines: List[str] = []
+    for name, metric in sorted(section.items()):
+        for sample in metric.get("samples", []):
+            labels = sample.get("labels") or {}
+            rendered = (
+                "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            value = sample.get("value", sample.get("count", 0))
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            lines.append(f"  {name}{rendered}{suffix} {value}")
+    return lines
+
+
+def render_stats(manifest: dict) -> str:
+    """The full ``stats`` report for one (validated) manifest."""
+    entries = manifest["experiments"]
+    lines: List[str] = []
+    obs = manifest.get("obs") or {}
+    header = (
+        f"sweep of {len(entries)} job(s) — "
+        f"{manifest['jobs']} worker(s), code {manifest['code_version']}"
+    )
+    if "makespan_s" in obs:
+        header += f", makespan {_seconds(obs['makespan_s'])}s"
+    if manifest.get("interrupted"):
+        header += " [interrupted]"
+    lines.append(header)
+    lines.append("")
+
+    table = TextTable(
+        ["id", "seed", "wall_s", "queue_s", "cache", "ckpt", "tries", "status"]
+    )
+    for entry in entries:
+        table.add_row(
+            entry["id"],
+            entry["seed"],
+            _seconds(entry.get("wall_s")),
+            _seconds(entry.get("queue_s")),
+            _entry_cache(entry),
+            entry.get("checkpoint_writes", "-"),
+            entry.get("attempts", "-"),
+            _entry_status(entry),
+        )
+    lines.append(table.render())
+    lines.append("")
+
+    hits = sum(1 for e in entries if _entry_cache(e) == "hit")
+    errors = sum(1 for e in entries if e.get("error") is not None)
+    check_failures = sum(len(e.get("failed_checks") or ()) for e in entries)
+    resumed = sum(1 for e in entries if e.get("resumed"))
+    wall_total = sum(float(e.get("wall_s") or 0.0) for e in entries)
+    summary = (
+        f"totals: {_seconds(wall_total)}s job wall time, "
+        f"{hits} cache hit(s), {errors} error(s), "
+        f"{check_failures} failed check(s)"
+    )
+    if resumed:
+        summary += f", {resumed} resumed"
+    lines.append(summary)
+    integrity = manifest.get("integrity")
+    if integrity:
+        lines.append(
+            f"integrity: strict={'yes' if integrity.get('strict') else 'no'}, "
+            f"{integrity.get('invariant_failures', 0)} invariant failure(s)"
+        )
+
+    metrics = obs.get("metrics") or {}
+    sections = [
+        ("counters", metrics.get("counters") or {}, ""),
+        ("gauges", metrics.get("gauges") or {}, ""),
+    ]
+    histograms = metrics.get("histograms") or {}
+    if any(section for _, section, _ in sections) or histograms:
+        lines.append("")
+        lines.append("metrics:")
+        for _, section, suffix in sections:
+            lines.extend(_metric_lines(section, suffix))
+        for name, metric in sorted(histograms.items()):
+            for sample in metric.get("samples", []):
+                count = sample.get("count", 0)
+                total = sample.get("sum", 0.0)
+                mean = total / count if count else 0.0
+                lines.append(
+                    f"  {name} count={count} sum={_seconds(total)} "
+                    f"mean={_seconds(mean)}"
+                )
+    return "\n".join(lines)
+
+
+def stats_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments stats",
+        description="Summarise the telemetry recorded in a sweep manifest.",
+    )
+    parser.add_argument(
+        "manifest",
+        help="path to a manifest.json (or the --save directory holding one)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.manifest)
+    if path.is_dir():
+        path = path / "manifest.json"
+    try:
+        manifest = manifest_from_dict(load_json(path))
+    except (OSError, ValueError) as exc:
+        log.error(f"cannot read manifest {path}: {exc}")
+        return 2
+    try:
+        print(render_stats(manifest))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; point
+        # stdout at devnull so interpreter shutdown doesn't re-raise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0

@@ -99,6 +99,7 @@ class FaultInjector:
 
             def arrive() -> None:
                 self.counts[fault.name] += 1
+                self._notify_obs(fault)
                 fire()
                 schedule_next(at_ns)
 
@@ -109,6 +110,12 @@ class FaultInjector:
     def _magnitude(self, stream, mean: float) -> float:
         """Jittered magnitude: uniform in [0.5, 1.5] x mean."""
         return mean * stream.uniform(0.5, 1.5)
+
+    def _notify_obs(self, fault: FaultSpec) -> None:
+        """Surface one injection to the observability layer, if attached."""
+        obs = getattr(self.system, "obs", None)
+        if obs is not None:
+            obs.fault_injected(fault.name, fault.kind)
 
     # ------------------------------------------------------------------
     # disk-stall: service-time spikes and transient stalls
@@ -198,6 +205,7 @@ class FaultInjector:
             demote = stream.random() < probability
             if demote:
                 self.counts[fault.name] += 1
+                self._notify_obs(fault)
             return demote
 
         self.sim.schedule_at(

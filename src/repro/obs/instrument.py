@@ -1,0 +1,278 @@
+"""Attaching the observability session to one booted system.
+
+:func:`instrument_system` is called by :func:`repro.winsys.boot` when an
+observability session is active; it builds one
+:class:`SystemInstrumentation` and hands it to the kernel
+(``kernel.obs``), the interrupt controller, the I/O manager, the hook
+manager and every created thread's message queue.  Nothing here imports
+:mod:`repro.winsys` — the instrumentation is duck-typed over the booted
+system, which keeps the dependency arrow pointing one way (winsys →
+obs) and the disabled path a plain ``obs is None`` check.
+
+Track layout per simulated OS (one Perfetto *process* per boot):
+
+===========  ==========================================================
+track        contents
+===========  ==========================================================
+``cpu``      what the processor executes: ``run:<thread>`` and
+             ``dpc:<label>`` spans, serialized (depth 1)
+``irq``      one instant per interrupt delivery (genuine and spurious)
+``io``       ``sync-io-wait`` spans while synchronous I/O is
+             outstanding (the Figure 2 FSM input)
+``faults``   one instant per fault injection
+per-thread   ``handle:<WM_*>`` app-event spans plus ``post:``/``get:``
+             message instants — one track per simulated thread
+===========  ==========================================================
+
+Every hook reads the simulated clock and records; none schedules
+events, draws random numbers, or mutates kernel state, which is why
+payloads stay byte-identical with observability on
+(``tests/test_obs_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .metrics import NULL_REGISTRY
+from .runtime import ObsSession
+from .tracer import NULL_TRACER
+
+__all__ = ["SystemInstrumentation", "instrument_system"]
+
+#: Reserved track ids within each simulated process.
+CPU_TRACK = 1
+IRQ_TRACK = 2
+IO_TRACK = 3
+FAULTS_TRACK = 4
+FIRST_THREAD_TRACK = 5
+
+_DPC_OWNER = object()  # cpu-track owner sentinel while a DPC executes
+
+
+def _message_kind(message) -> str:
+    kind = getattr(message, "kind", message)
+    return getattr(kind, "name", str(kind))
+
+
+class SystemInstrumentation:
+    """Observer wired into one booted system's kernel and devices."""
+
+    def __init__(self, system, os_name: str, session: ObsSession) -> None:
+        self.system = system
+        self.os = os_name
+        self._sim = system.machine.sim
+        tracer = session.tracer if session.tracer is not None else NULL_TRACER
+        registry = (
+            session.registry if session.registry is not None else NULL_REGISTRY
+        )
+        self.tracer = tracer
+        self.registry = registry
+        self.pid = tracer.register_process(os_name)
+        tracer.register_thread(self.pid, "cpu", tid=CPU_TRACK)
+        tracer.register_thread(self.pid, "irq", tid=IRQ_TRACK)
+        tracer.register_thread(self.pid, "io", tid=IO_TRACK)
+        tracer.register_thread(self.pid, "faults", tid=FAULTS_TRACK)
+        #: SimThread.tid -> trace track id.
+        self._thread_tracks: Dict[int, int] = {}
+        self._next_thread_track = FIRST_THREAD_TRACK
+        self._cpu_owner: object = None
+        self._io_span_open = False
+
+        self._ctx_switches = registry.counter(
+            "repro_sim_context_switches_total",
+            "Involuntary context switches (preemption, quantum expiry).",
+        )
+        self._interrupts = registry.counter(
+            "repro_sim_interrupts_total",
+            "Interrupts serviced, by vector; spurious deliveries labeled.",
+        )
+        self._dpcs = registry.counter(
+            "repro_sim_dpcs_total", "Deferred procedure calls retired."
+        )
+        self._messages = registry.counter(
+            "repro_sim_messages_total",
+            "Message-queue transitions (post and get).",
+        )
+        self._queue_depth = registry.gauge(
+            "repro_sim_queue_depth_high_water",
+            "Maximum message-queue depth observed, per thread.",
+        )
+        self._api_calls = registry.counter(
+            "repro_sim_api_calls_total",
+            "Intercepted USER32-style API calls (GetMessage/PeekMessage).",
+        )
+        self._app_events = registry.counter(
+            "repro_sim_app_events_total",
+            "Application message-handler dispatches, by message kind.",
+        )
+        self._threads_created = registry.counter(
+            "repro_sim_threads_created_total", "Simulated threads created."
+        )
+        self._faults = registry.counter(
+            "repro_sim_faults_injected_total",
+            "Fault injections fired, by fault name and kind.",
+        )
+        self._io_waits = registry.counter(
+            "repro_sim_sync_io_waits_total",
+            "Transitions into the outstanding-synchronous-I/O state.",
+        )
+        self._io_high_water = registry.gauge(
+            "repro_sim_sync_io_outstanding_high_water",
+            "Maximum concurrent outstanding synchronous I/O operations.",
+        )
+
+    # ------------------------------------------------------------------
+    # Threads and the CPU track
+    # ------------------------------------------------------------------
+    def thread_created(self, thread) -> int:
+        """Register a per-thread track; subscribe to its message queue."""
+        track = self._thread_tracks.get(thread.tid)
+        if track is not None:
+            return track
+        track = self.tracer.register_thread(
+            self.pid, f"{thread.name} [t{thread.tid}]", tid=self._next_thread_track
+        )
+        self._next_thread_track = track + 1
+        self._thread_tracks[thread.tid] = track
+        self._threads_created.inc(os=self.os)
+        thread.queue.add_observer(
+            lambda action, message, depth, t=thread: self.queue_event(
+                t, action, message, depth
+            )
+        )
+        return track
+
+    def run_begin(self, thread) -> None:
+        now = self._sim.now
+        if self._cpu_owner is not None:
+            # A stale span (e.g. a cancelled busy-wait) — close it so
+            # the CPU track stays serialized at depth 1.
+            self.tracer.end(self.pid, CPU_TRACK, now, args={"reason": "switch"})
+        self._cpu_owner = thread
+        self.tracer.begin(
+            f"run:{thread.name}",
+            self.pid,
+            CPU_TRACK,
+            now,
+            category="sched",
+            args={"tid": thread.tid, "priority": thread.priority},
+        )
+
+    def run_end(self, thread, reason: str) -> None:
+        if self._cpu_owner is not thread:
+            return
+        self._cpu_owner = None
+        self.tracer.end(self.pid, CPU_TRACK, self._sim.now, args={"reason": reason})
+
+    def context_switch(self, reason: str) -> None:
+        self._ctx_switches.inc(os=self.os, reason=reason)
+
+    def dpc_begin(self, label: str) -> None:
+        now = self._sim.now
+        if self._cpu_owner is not None:
+            self.tracer.end(self.pid, CPU_TRACK, now, args={"reason": "dpc"})
+        self._cpu_owner = _DPC_OWNER
+        self.tracer.begin(
+            f"dpc:{label or 'dpc'}", self.pid, CPU_TRACK, now, category="dpc"
+        )
+
+    def dpc_end(self, label: str) -> None:
+        if self._cpu_owner is not _DPC_OWNER:
+            return
+        self._cpu_owner = None
+        self.tracer.end(self.pid, CPU_TRACK, self._sim.now)
+        self._dpcs.inc(os=self.os)
+
+    # ------------------------------------------------------------------
+    # Interrupts, I/O, faults
+    # ------------------------------------------------------------------
+    def interrupt(self, vector: str, duration_ns: int, spurious: bool) -> None:
+        self.tracer.instant(
+            f"irq:{vector}",
+            self.pid,
+            IRQ_TRACK,
+            self._sim.now,
+            category="irq",
+            args={"duration_ns": duration_ns, "spurious": spurious},
+        )
+        self._interrupts.inc(
+            os=self.os, vector=vector, spurious=str(spurious).lower()
+        )
+
+    def sync_io(self, outstanding: int) -> None:
+        now = self._sim.now
+        if outstanding > 0 and not self._io_span_open:
+            self._io_span_open = True
+            self.tracer.begin("sync-io-wait", self.pid, IO_TRACK, now, category="io")
+            self._io_waits.inc(os=self.os)
+        elif outstanding == 0 and self._io_span_open:
+            self._io_span_open = False
+            self.tracer.end(self.pid, IO_TRACK, now)
+        self._io_high_water.set_max(outstanding, os=self.os)
+
+    def fault_injected(self, name: str, kind: str) -> None:
+        self.tracer.instant(
+            f"fault:{name}",
+            self.pid,
+            FAULTS_TRACK,
+            self._sim.now,
+            category="fault",
+            args={"kind": kind},
+        )
+        self._faults.inc(fault=name, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Messages and app events (per-thread tracks)
+    # ------------------------------------------------------------------
+    def queue_event(self, thread, action: str, message, depth: int) -> None:
+        track = self._thread_tracks.get(thread.tid)
+        if track is not None:
+            self.tracer.instant(
+                f"{action}:{_message_kind(message)}",
+                self.pid,
+                track,
+                self._sim.now,
+                category="msg",
+                args={"depth": depth},
+            )
+        self._messages.inc(os=self.os, action=action)
+        self._queue_depth.set_max(depth, os=self.os, thread=thread.name)
+
+    def api_call(self, record) -> None:
+        self._api_calls.inc(os=self.os, api=record.api)
+
+    def app_event_begin(self, thread, message) -> None:
+        track = self._thread_tracks.get(thread.tid)
+        if track is None:
+            track = self.thread_created(thread)
+        kind = _message_kind(message)
+        self.tracer.begin(
+            f"handle:{kind}",
+            self.pid,
+            track,
+            self._sim.now,
+            category="app",
+            args={"from_input": bool(getattr(message, "from_input", False))},
+        )
+        self._app_events.inc(os=self.os, kind=kind)
+
+    def app_event_end(self, thread, message) -> None:
+        track = self._thread_tracks.get(thread.tid)
+        if track is None:
+            return
+        self.tracer.end(self.pid, track, self._sim.now)
+
+
+def instrument_system(system, os_name: str, session: ObsSession):
+    """Wire a :class:`SystemInstrumentation` into one booted system."""
+    instrumentation = SystemInstrumentation(system, os_name, session)
+    system.obs = instrumentation
+    kernel = system.kernel
+    kernel.obs = instrumentation
+    system.machine.interrupts.obs = instrumentation.interrupt
+    kernel.iomgr.add_sync_observer(instrumentation.sync_io)
+    kernel.hooks.register("*", instrumentation.api_call)
+    for thread in kernel.threads:
+        instrumentation.thread_created(thread)
+    return instrumentation

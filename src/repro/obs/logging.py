@@ -1,0 +1,98 @@
+"""Leveled structured logging for the experiment harness.
+
+Replaces the runner's ad-hoc ``print(..., file=sys.stderr)`` calls.
+Design constraints, in order:
+
+* **Message substance is stable.**  Tests (and muscle memory) grep
+  stderr for substrings like ``invalid --seed``; the logger decorates a
+  message with a level tag and optional ``key=value`` fields but never
+  rewrites it.
+* **stderr by default**, so result output on stdout stays clean and
+  pipeable.
+* **No global config surprises.**  This is intentionally not
+  :mod:`logging` from the stdlib: no handler hierarchies, no root-logger
+  mutation that could leak between tests — one module-level level and
+  per-call streams.
+
+Levels are the usual ``debug < info < warning < error``; the runner's
+``--log-level`` flag maps straight onto :func:`set_level`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional, TextIO
+
+__all__ = ["LEVELS", "StructuredLogger", "get_logger", "set_level"]
+
+#: Level name -> severity rank.
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+DEFAULT_LEVEL = "info"
+
+_level_rank = LEVELS[DEFAULT_LEVEL]
+
+
+def set_level(level: str) -> None:
+    """Set the process-wide threshold (``debug``/``info``/``warning``/``error``)."""
+    global _level_rank
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(LEVELS)}"
+        )
+    _level_rank = LEVELS[level]
+
+
+def current_level() -> str:
+    for name, rank in LEVELS.items():
+        if rank == _level_rank:
+            return name
+    return DEFAULT_LEVEL  # pragma: no cover - LEVELS is closed
+
+
+def _format_fields(fields: Dict[str, object]) -> str:
+    return " ".join(f"{key}={value}" for key, value in fields.items())
+
+
+class StructuredLogger:
+    """Named logger writing ``[level] component: message key=value`` lines."""
+
+    def __init__(self, name: str, stream: Optional[TextIO] = None) -> None:
+        self.name = name
+        #: ``None`` means "resolve sys.stderr at call time" so pytest's
+        #: capsys (which swaps sys.stderr) sees our output.
+        self._stream = stream
+
+    def _emit(self, level: str, message: str, fields: Dict[str, object]) -> None:
+        if LEVELS[level] < _level_rank:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        suffix = f" {_format_fields(fields)}" if fields else ""
+        print(f"[{level}] {self.name}: {message}{suffix}", file=stream)
+
+    def debug(self, message: str, **fields: object) -> None:
+        self._emit("debug", message, fields)
+
+    def info(self, message: str, **fields: object) -> None:
+        self._emit("info", message, fields)
+
+    def warning(self, message: str, **fields: object) -> None:
+        self._emit("warning", message, fields)
+
+    def error(self, message: str, **fields: object) -> None:
+        self._emit("error", message, fields)
+
+    def isEnabledFor(self, level: str) -> bool:
+        return LEVELS[level] >= _level_rank
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Fetch (or create) the logger for ``name``; instances are shared."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = StructuredLogger(name)
+        _loggers[name] = logger
+    return logger

@@ -1,0 +1,404 @@
+"""Labeled counters, gauges and histograms for sim and harness telemetry.
+
+A :class:`MetricsRegistry` owns a flat namespace of metrics; each
+metric holds one value per label-set (a sorted tuple of ``(key, value)``
+pairs, so label order never matters).  Snapshots are plain JSON-able
+dicts that:
+
+* embed into run manifests (the ``obs`` section),
+* merge across worker processes (:func:`merge_snapshots` — counters
+  and histograms sum, gauges take the max, which is the right fold for
+  the high-water gauges the sim records), and
+* export as Prometheus text format (:func:`prometheus_text`).
+
+:data:`NULL_REGISTRY` is the pay-for-use off switch: it hands out
+shared no-op metric objects, so instrumented code updates metrics
+unconditionally and the disabled path costs one no-op method call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullMetric",
+    "merge_snapshots",
+    "prometheus_text",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets (seconds-flavoured; callers may override).
+DEFAULT_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def samples(self) -> List[dict]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, per label-set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Metric):
+    """Point-in-time value, per label-set (with a high-water helper)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels: object) -> None:
+        """Keep the maximum seen — queue-depth high-water semantics."""
+        key = _label_key(labels)
+        current = self._values.get(key)
+        if current is None or value > current:
+            self._values[key] = float(value)
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram, per label-set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(self.buckets) + 1)  # +Inf bucket last
+            self._counts[key] = counts
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._totals[key] = self._totals.get(key, 0) + 1
+
+    def samples(self) -> List[dict]:
+        return [
+            {
+                "labels": dict(key),
+                "counts": list(counts),
+                "sum": self._sums[key],
+                "count": self._totals[key],
+            }
+            for key, counts in sorted(self._counts.items())
+        ]
+
+
+class NullMetric:
+    """No-op counter/gauge/histogram — the disabled path."""
+
+    kind = "null"
+    name = ""
+    help = ""
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def set_max(self, value: float, **labels: object) -> None:
+        pass
+
+    def add(self, amount: float, **labels: object) -> None:
+        pass
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+    def value(self, **labels: object) -> float:
+        return 0.0
+
+    def samples(self) -> List[dict]:
+        return []
+
+
+_NULL_METRIC = NullMetric()
+
+
+class MetricsRegistry:
+    """Flat namespace of metrics; re-requesting a name returns the
+    existing instance (so components can look metrics up lazily)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, not {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, help, buckets), "histogram")
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every metric, for manifests/exports."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in sorted(self._metrics.items()):
+            if metric.kind == "counter":
+                out["counters"][name] = {
+                    "help": metric.help,
+                    "samples": metric.samples(),
+                }
+            elif metric.kind == "gauge":
+                out["gauges"][name] = {
+                    "help": metric.help,
+                    "samples": metric.samples(),
+                }
+            elif metric.kind == "histogram":
+                out["histograms"][name] = {
+                    "help": metric.help,
+                    "buckets": list(metric.buckets),
+                    "samples": metric.samples(),
+                }
+        return out
+
+
+class NullRegistry:
+    """Registry that hands out shared no-op metrics."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+def merge_snapshots(snapshots: Iterable[Optional[dict]]) -> dict:
+    """Fold snapshots from many processes into one.
+
+    Counters and histogram buckets/sums/counts add; gauges keep the
+    maximum (every sim gauge is a high-water mark, and for the rest a
+    max across workers is the conservative summary).
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, metric in snapshot.get("counters", {}).items():
+            _merge_samples(merged["counters"], name, metric, mode="sum")
+        for name, metric in snapshot.get("gauges", {}).items():
+            _merge_samples(merged["gauges"], name, metric, mode="max")
+        for name, metric in snapshot.get("histograms", {}).items():
+            _merge_histogram(merged["histograms"], name, metric)
+    return merged
+
+
+def _merge_samples(target: dict, name: str, metric: dict, mode: str) -> None:
+    slot = target.setdefault(
+        name, {"help": metric.get("help", ""), "samples": []}
+    )
+    by_labels = {_label_key(s["labels"]): s for s in slot["samples"]}
+    for sample in metric.get("samples", []):
+        key = _label_key(sample["labels"])
+        existing = by_labels.get(key)
+        if existing is None:
+            entry = {"labels": dict(sample["labels"]), "value": sample["value"]}
+            slot["samples"].append(entry)
+            by_labels[key] = entry
+        elif mode == "sum":
+            existing["value"] += sample["value"]
+        else:
+            existing["value"] = max(existing["value"], sample["value"])
+    slot["samples"].sort(key=lambda s: _label_key(s["labels"]))
+
+
+def _merge_histogram(target: dict, name: str, metric: dict) -> None:
+    slot = target.setdefault(
+        name,
+        {
+            "help": metric.get("help", ""),
+            "buckets": list(metric.get("buckets", [])),
+            "samples": [],
+        },
+    )
+    by_labels = {_label_key(s["labels"]): s for s in slot["samples"]}
+    for sample in metric.get("samples", []):
+        key = _label_key(sample["labels"])
+        existing = by_labels.get(key)
+        if existing is None:
+            entry = {
+                "labels": dict(sample["labels"]),
+                "counts": list(sample["counts"]),
+                "sum": sample["sum"],
+                "count": sample["count"],
+            }
+            slot["samples"].append(entry)
+            by_labels[key] = entry
+        else:
+            existing["counts"] = [
+                a + b for a, b in zip(existing["counts"], sample["counts"])
+            ]
+            existing["sum"] += sample["sum"]
+            existing["count"] += sample["count"]
+    slot["samples"].sort(key=lambda s: _label_key(s["labels"]))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, metric in sorted(snapshot.get("counters", {}).items()):
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} counter")
+        for sample in metric["samples"]:
+            lines.append(
+                f"{name}{_format_labels(sample['labels'])} "
+                f"{_format_value(sample['value'])}"
+            )
+    for name, metric in sorted(snapshot.get("gauges", {}).items()):
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} gauge")
+        for sample in metric["samples"]:
+            lines.append(
+                f"{name}{_format_labels(sample['labels'])} "
+                f"{_format_value(sample['value'])}"
+            )
+    for name, metric in sorted(snapshot.get("histograms", {}).items()):
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} histogram")
+        bounds = [str(b) for b in metric.get("buckets", [])] + ["+Inf"]
+        for sample in metric["samples"]:
+            cumulative = 0
+            for bound, count in zip(bounds, sample["counts"]):
+                cumulative += count
+                le = 'le="' + bound + '"'
+                lines.append(
+                    f"{name}_bucket{_format_labels(sample['labels'], le)} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_format_labels(sample['labels'])} "
+                f"{_format_value(sample['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(sample['labels'])} "
+                f"{sample['count']}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,126 @@
+"""Process-global observability session.
+
+The simulator never imports the runner and the runner never reaches
+into a booted system, so the two sides meet here: the runner (or a
+test) opens an :class:`ObsSession`, and :func:`repro.winsys.boot`
+checks :func:`active` at boot time to decide whether to attach
+instrumentation.  No session → nothing attaches → the disabled path is
+a handful of ``is None`` checks (see ``benchmarks/test_obs_overhead.py``).
+
+The session is process-global on purpose: experiments execute inside
+worker processes where the only channel to the simulator is ambient
+state, and the worker owns exactly one job at a time, so a global is
+both safe and the cheapest possible lookup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import DEFAULT_CAPACITY, Tracer
+
+__all__ = [
+    "ObsSession",
+    "active",
+    "current",
+    "observed",
+    "record_trace_loss",
+    "start_session",
+    "stop_session",
+]
+
+
+class ObsSession:
+    """One tracer + one metrics registry, shared by sim and harness."""
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.trace_enabled = trace
+        self.metrics_enabled = metrics
+        self.tracer: Optional[Tracer] = Tracer(capacity=capacity) if trace else None
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        if self.registry is None:
+            return None
+        self._flush_trace_loss()
+        return self.registry.snapshot()
+
+    def _flush_trace_loss(self) -> None:
+        """Surface the session tracer's own buffer loss as gauges."""
+        if self.registry is None or self.tracer is None:
+            return
+        record_trace_loss(self.tracer, scope="tracer", registry=self.registry)
+
+
+_session: Optional[ObsSession] = None
+
+
+def start_session(
+    trace: bool = True,
+    metrics: bool = True,
+    capacity: int = DEFAULT_CAPACITY,
+) -> ObsSession:
+    """Open the process-global session (replacing any existing one)."""
+    global _session
+    _session = ObsSession(trace=trace, metrics=metrics, capacity=capacity)
+    return _session
+
+
+def stop_session() -> Optional[ObsSession]:
+    """Close and return the process-global session (None if none open)."""
+    global _session
+    session, _session = _session, None
+    return session
+
+
+def current() -> Optional[ObsSession]:
+    return _session
+
+
+def active() -> bool:
+    return _session is not None
+
+
+@contextmanager
+def observed(
+    trace: bool = True,
+    metrics: bool = True,
+    capacity: int = DEFAULT_CAPACITY,
+) -> Iterator[ObsSession]:
+    """``with observed() as session:`` — session scoped to the block."""
+    session = start_session(trace=trace, metrics=metrics, capacity=capacity)
+    try:
+        yield session
+    finally:
+        stop_session()
+
+
+def record_trace_loss(buffer, scope: str, registry=None) -> None:
+    """Publish a trace buffer's ``dropped``/``overwritten`` counts as
+    gauges, so a lossy trace is visible in metrics and not only in
+    integrity skip-markers.  ``buffer`` is anything exposing
+    ``dropped``/``overwritten`` (TraceBuffer, Tracer).  No session and
+    no explicit registry → no-op.
+    """
+    if registry is None:
+        session = _session
+        if session is None or session.registry is None:
+            return
+        registry = session.registry
+    registry.gauge(
+        "repro_trace_dropped_records",
+        "Trace records dropped because a bounded buffer was full.",
+    ).set_max(buffer.dropped, scope=scope)
+    registry.gauge(
+        "repro_trace_overwritten_records",
+        "Trace records overwritten by a wrapping bounded buffer.",
+    ).set_max(buffer.overwritten, scope=scope)

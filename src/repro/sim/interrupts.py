@@ -42,6 +42,9 @@ class InterruptController:
         self.delivered: Dict[str, int] = {}
         #: Per-vector spurious delivery counts (ISR cost, no handler).
         self.spurious: Dict[str, int] = {}
+        #: Observability callback ``(vector, duration_ns, spurious)`` or
+        #: None (the default, zero-cost path).
+        self.obs: Optional[Callable[[str, int, bool], None]] = None
 
     def register(
         self,
@@ -79,6 +82,8 @@ class InterruptController:
         self.cpu.perf.charge(HwEvent.INTERRUPTS, 1)
         duration = self.cpu.steal(vector.isr_work)
         self.delivered[name] = self.delivered.get(name, 0) + 1
+        if self.obs is not None:
+            self.obs(name, duration, False)
         handler = self._handlers.get(name)
         if handler is not None:
             self.sim.schedule(
@@ -103,6 +108,8 @@ class InterruptController:
         self.cpu.perf.charge(HwEvent.INTERRUPTS, 1)
         duration = self.cpu.steal(vector.isr_work)
         self.spurious[name] = self.spurious.get(name, 0) + 1
+        if self.obs is not None:
+            self.obs(name, duration, True)
         return duration
 
 

@@ -97,9 +97,17 @@ class TraceBuffer(Generic[T]):
         return iter(self.records())
 
     def last(self) -> Optional[T]:
-        """Most recent record, or None when empty."""
-        ordered = self.records()
-        return ordered[-1] if ordered else None
+        """Most recent record, or None when empty — O(1).
+
+        In a wrapped ring the newest record sits just *before* the wrap
+        cursor (the cursor points at the oldest, next-to-be-overwritten
+        slot), so no unwrapped copy is needed.
+        """
+        if not self._records:
+            return None
+        if self.on_full == "wrap" and self.full and self._wrap_start:
+            return self._records[self._wrap_start - 1]
+        return self._records[-1]
 
     def clear(self) -> None:
         self._records.clear()

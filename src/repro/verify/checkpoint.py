@@ -71,6 +71,9 @@ class Checkpointer:
         self._units: Dict[str, object] = {}
         self._order: List[str] = []
         self._pending = 0
+        #: Successful snapshot writes (observability: the runner folds
+        #: this into its checkpoint-write metrics).
+        self.writes = 0
         #: Unit keys served from a pre-existing snapshot (resume audit).
         self.resumed_units: List[str] = []
         self._load()
@@ -120,6 +123,7 @@ class Checkpointer:
         except OSError:
             return None
         self._pending = 0
+        self.writes += 1
         return self.path
 
     def discard(self) -> None:

@@ -64,14 +64,28 @@ SYSTEM_FACTORIES = {
 
 
 def boot(os_name: str, seed: int = 0) -> WindowsSystem:
-    """Boot one of the three measured systems by short name."""
+    """Boot one of the three measured systems by short name.
+
+    When an observability session is active (``repro.obs.runtime``),
+    the booted system comes back instrumented: one trace process per
+    boot, kernel/interrupt/I-O/message hooks attached.  Without a
+    session nothing attaches and the system runs the zero-cost path.
+    """
     try:
         factory = SYSTEM_FACTORIES[os_name]
     except KeyError:
         raise ValueError(
             f"unknown OS {os_name!r}; expected one of {sorted(SYSTEM_FACTORIES)}"
         ) from None
-    return factory(seed=seed)
+    system = factory(seed=seed)
+    from ..obs import runtime as _obs_runtime
+
+    session = _obs_runtime.current()
+    if session is not None:
+        from ..obs.instrument import instrument_system
+
+        instrument_system(system, os_name, session)
+    return system
 
 
 __all__ = [

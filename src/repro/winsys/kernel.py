@@ -143,6 +143,11 @@ class Kernel:
         # Diagnostics.
         self.context_switches = 0
         self.dpcs_run = 0
+        #: Observability hook (a SystemInstrumentation from repro.obs),
+        #: attached by boot() when a session is active; None otherwise.
+        #: Every call site guards with ``is not None`` so the disabled
+        #: path costs one attribute check.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Boot
@@ -188,6 +193,8 @@ class Kernel:
         thread.queue.add_post_callback(
             lambda message, t=thread: self._on_message_posted(t, message)
         )
+        if self.obs is not None:
+            self.obs.thread_created(thread)
         self.scheduler.make_ready(thread)
         self._request_dispatch()
         return thread
@@ -259,11 +266,16 @@ class Kernel:
         thread.pending_work = remaining
         self.running = None
         self.context_switches += 1
+        if self.obs is not None:
+            self.obs.run_end(thread, "preempt")
+            self.obs.context_switch("preempt")
         self.scheduler.make_ready(thread, front=True)
 
     def _run_thread(self, thread: SimThread) -> None:
         self.running = thread
         thread.dispatches += 1
+        if self.obs is not None:
+            self.obs.run_begin(thread)
         if thread.pending_work is not None:
             work = thread.pending_work
             thread.pending_work = None
@@ -279,6 +291,8 @@ class Kernel:
             self._active_dpc = None
             self.running = None
             self.dpcs_run += 1
+            if self.obs is not None:
+                self.obs.dpc_end(dpc.label if dpc is not None else "")
             if dpc is not None and dpc.action is not None:
                 dpc.action()
             self._request_dispatch()
@@ -294,6 +308,8 @@ class Kernel:
             thread.pending_action = None
             result = action()
         if result is _BLOCKED:
+            if self.obs is not None:
+                self.obs.run_end(thread, thread.wait_reason or "block")
             self.running = None
             self._request_dispatch()
             return
@@ -301,6 +317,8 @@ class Kernel:
         if (top is not None and top > thread.priority) or self._dpc_queue:
             thread.resume_value = result
             self.running = None
+            if self.obs is not None:
+                self.obs.run_end(thread, "preempt-pending")
             self.scheduler.make_ready(thread, front=True)
             self._request_dispatch()
             return
@@ -317,6 +335,14 @@ class Kernel:
             outcome = self._perform(thread, syscall)
             kind = outcome[0]
             if kind == "block":
+                if self.obs is not None:
+                    if thread.blocked:
+                        reason = thread.wait_reason or "block"
+                    elif thread.done:
+                        reason = "exit"
+                    else:
+                        reason = "yield"
+                    self.obs.run_end(thread, reason)
                 self.running = None
                 self._request_dispatch()
                 return
@@ -332,6 +358,8 @@ class Kernel:
 
     def _finish_thread(self, thread: SimThread) -> None:
         thread.state = ThreadState.DONE
+        if self.obs is not None:
+            self.obs.run_end(thread, "exit")
         self.running = None
         self._request_dispatch()
 
@@ -581,6 +609,8 @@ class Kernel:
         thread.resume_value = None
         if thread.state == ThreadState.RUNNING:
             thread.state = ThreadState.READY
+            if self.obs is not None:
+                self.obs.run_end(thread, "spin-cancel")
             self.scheduler.make_ready(thread, front=True)
         self._request_dispatch()
 
@@ -619,6 +649,8 @@ class Kernel:
         dpc = self._dpc_queue.popleft()
         self._active_dpc = dpc
         self.running = self._dpc_context
+        if self.obs is not None:
+            self.obs.dpc_begin(dpc.label)
         self.cpu.start(dpc.work, self._dpc_context, self._work_done)
 
     # ------------------------------------------------------------------
@@ -674,6 +706,9 @@ class Kernel:
                     thread.quantum_ticks_used = 0
                     self.running = None
                     self.context_switches += 1
+                    if self.obs is not None:
+                        self.obs.run_end(thread, "quantum")
+                        self.obs.context_switch("quantum")
                     self.scheduler.make_ready(thread, front=False)
                     self._request_dispatch()
 

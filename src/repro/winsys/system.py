@@ -30,6 +30,9 @@ class WindowsSystem:
         self.machine = machine or Machine(MachineSpec(master_seed=seed))
         self.kernel = Kernel(self.machine, personality)
         self._booted = False
+        #: Observability hook (repro.obs instrumentation) or None; the
+        #: fault injector and app framework read it duck-typed.
+        self.obs = None
 
     def boot(self) -> "WindowsSystem":
         """Wire interrupts, start the clock; returns self for chaining."""

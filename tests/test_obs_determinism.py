@@ -1,0 +1,53 @@
+"""Observability must never change results (satellite of the obs layer).
+
+Instrumentation only *reads* the simulated clock — it schedules no
+events and draws no randomness — so archival payloads must be
+byte-identical and golden digests unchanged with a session open.
+"""
+
+import json
+
+import pytest
+
+from repro.core.serialize import experiment_to_dict
+from repro.experiments.registry import run_experiment
+from repro.obs import observed
+from repro.verify.golden import GOLDEN_SET, payload_digest
+
+
+def _payload_bytes(experiment_id, seed):
+    result = run_experiment(experiment_id, seed=seed)
+    return json.dumps(
+        experiment_to_dict(result), indent=2, sort_keys=True
+    ).encode()
+
+
+@pytest.mark.parametrize("experiment_id,seed", GOLDEN_SET)
+def test_payloads_byte_identical_with_obs_on(experiment_id, seed):
+    baseline = _payload_bytes(experiment_id, seed)
+    with observed(trace=True, metrics=True):
+        instrumented = _payload_bytes(experiment_id, seed)
+    assert instrumented == baseline
+
+
+def test_golden_digests_unchanged_under_observation():
+    experiment_id, seed = GOLDEN_SET[0]
+    plain = payload_digest(
+        experiment_to_dict(run_experiment(experiment_id, seed=seed))
+    )
+    with observed(trace=True, metrics=True):
+        observed_digest = payload_digest(
+            experiment_to_dict(run_experiment(experiment_id, seed=seed))
+        )
+    assert observed_digest == plain
+
+
+def test_instrumentation_actually_attached_while_observed():
+    """Guard against vacuous determinism: the observed run above must
+    really have been instrumented, not silently un-hooked."""
+    experiment_id, seed = GOLDEN_SET[0]
+    with observed(trace=True, metrics=True) as session:
+        run_experiment(experiment_id, seed=seed)
+        assert len(session.tracer.events()) > 0
+        snapshot = session.metrics_snapshot()
+    assert snapshot["counters"]

@@ -1,0 +1,145 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    merge_snapshots,
+    prometheus_text,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc_per_label_set(self):
+        counter = Counter("c")
+        counter.inc(os="nt40")
+        counter.inc(2, os="nt40")
+        counter.inc(os="win95")
+        assert counter.value(os="nt40") == 3
+        assert counter.value(os="win95") == 1
+        assert counter.value(os="nt351") == 0
+
+    def test_label_order_irrelevant(self):
+        counter = Counter("c")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_high_water(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set_max(3)
+        assert gauge.value() == 5
+        gauge.set_max(9)
+        assert gauge.value() == 9
+
+    def test_add(self):
+        gauge = Gauge("g")
+        gauge.add(2)
+        gauge.add(-0.5)
+        assert gauge.value() == 1.5
+
+
+class TestHistogram:
+    def test_bucketing_cumulative_in_samples(self):
+        hist = Histogram("h", buckets=(1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            hist.observe(value)
+        (sample,) = hist.samples()
+        assert sample["counts"] == [2, 1, 1]  # <=1, <=5, +Inf
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(104.2)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help c").inc(os="nt40")
+        registry.gauge("g").set(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"]["help"] == "help c"
+        assert snap["counters"]["c"]["samples"] == [
+            {"labels": {"os": "nt40"}, "value": 1.0}
+        ]
+        assert snap["histograms"]["h"]["buckets"] == [1.0]
+
+    def test_null_registry_is_free(self):
+        metric = NULL_REGISTRY.counter("anything")
+        metric.inc(5, os="nt40")
+        assert metric.value() == 0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestMerge:
+    def _snap(self, count, high):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(count, os="nt40")
+        registry.gauge("g").set(high)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        return registry.snapshot()
+
+    def test_counters_sum_gauges_max_histograms_sum(self):
+        merged = merge_snapshots([self._snap(2, 7), self._snap(3, 4), None])
+        (c_sample,) = merged["counters"]["c"]["samples"]
+        assert c_sample["value"] == 5
+        (g_sample,) = merged["gauges"]["g"]["samples"]
+        assert g_sample["value"] == 7
+        (h_sample,) = merged["histograms"]["h"]["samples"]
+        assert h_sample["counts"] == [2, 0]
+        assert h_sample["count"] == 2
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs run.").inc(3, status="ok")
+        registry.gauge("depth").set(2.5)
+        registry.histogram("wall", buckets=(1.0,)).observe(0.5)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{status="ok"} 3' in text
+        assert "depth 2.5" in text
+        assert 'wall_bucket{le="1.0"} 1' in text
+        assert 'wall_bucket{le="+Inf"} 1' in text
+        assert "wall_sum 0.5" in text
+        assert "wall_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(name='a"b\\c')
+        text = prometheus_text(registry.snapshot())
+        assert r'name="a\"b\\c"' in text

@@ -1,0 +1,161 @@
+"""Perfetto/Chrome trace-event exporter tests (repro.obs.perfetto).
+
+Covers the exporter contract the docs promise: the output is valid
+trace-event JSON, timestamps are monotone per track, every simulated
+thread maps to exactly one named track, and span nesting survives a
+JSON round-trip.
+"""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    merge_chrome_traces,
+    observed,
+    validate_chrome_trace,
+)
+from repro.experiments.registry import run_experiment
+
+
+def _wall():
+    return 7
+
+
+def make_tracer():
+    tracer = Tracer(wall_clock=_wall)
+    pid = tracer.register_process("nt40")
+    tid = tracer.register_thread(pid, "pump")
+    return tracer, pid, tid
+
+
+class TestChromeTrace:
+    def test_valid_json_object_format(self):
+        tracer, pid, tid = make_tracer()
+        tracer.begin("outer", pid, tid, 1000)
+        tracer.instant("mark", pid, tid, 1500)
+        tracer.end(pid, tid, 2000)
+        trace = chrome_trace(tracer, label="unit")
+        assert validate_chrome_trace(trace) == []
+        # Round-trips through real JSON (what --trace-out writes).
+        parsed = json.loads(json.dumps(trace))
+        assert parsed["displayTimeUnit"] == "ns"
+        assert parsed["otherData"]["label"] == "unit"
+        phases = [e["ph"] for e in parsed["traceEvents"]]
+        assert phases.count("B") == phases.count("E") == 1
+
+    def test_metadata_names_processes_and_threads(self):
+        tracer, pid, tid = make_tracer()
+        tracer.instant("x", pid, tid, 0)
+        events = chrome_trace(tracer)["traceEvents"]
+        meta = {
+            (e["name"], e["pid"], e["tid"]): e["args"]
+            for e in events
+            if e["ph"] == "M"
+        }
+        assert meta[("process_name", pid, 0)] == {"name": "nt40"}
+        assert meta[("thread_name", pid, tid)] == {"name": "pump"}
+        assert meta[("thread_sort_index", pid, tid)] == {"sort_index": tid}
+
+    def test_ts_is_sim_ns_in_microseconds(self):
+        tracer, pid, tid = make_tracer()
+        tracer.instant("x", pid, tid, 2500)
+        (event,) = [
+            e for e in chrome_trace(tracer)["traceEvents"] if e["ph"] == "i"
+        ]
+        assert event["ts"] == 2.5
+        assert event["s"] == "t"
+        assert event["args"]["wall_ns"] == 7
+
+    def test_open_spans_auto_closed(self):
+        tracer, pid, tid = make_tracer()
+        tracer.begin("outer", pid, tid, 100)
+        tracer.begin("inner", pid, tid, 200)
+        tracer.instant("later", pid, tid, 900)
+        trace = chrome_trace(tracer)
+        assert validate_chrome_trace(trace) == []
+        closes = [e for e in trace["traceEvents"] if e["ph"] == "E"]
+        assert len(closes) == 2
+        assert all(e["args"].get("auto_closed") for e in closes)
+        assert all(e["ts"] == 0.9 for e in closes)
+        # LIFO: the inner span closes first.
+        assert [e["name"] for e in closes] == ["inner", "outer"]
+
+    def test_nesting_round_trip_through_json(self):
+        tracer, pid, tid = make_tracer()
+        tracer.begin("a", pid, tid, 0)
+        tracer.begin("b", pid, tid, 10)
+        tracer.end(pid, tid, 20)
+        tracer.begin("c", pid, tid, 30)
+        tracer.end(pid, tid, 40)
+        tracer.end(pid, tid, 50)
+        parsed = json.loads(json.dumps(chrome_trace(tracer)))
+        depth = 0
+        max_depth = 0
+        for event in parsed["traceEvents"]:
+            if event["ph"] == "B":
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif event["ph"] == "E":
+                depth -= 1
+                assert depth >= 0
+        assert depth == 0
+        assert max_depth == 2
+
+
+class TestMerge:
+    def _trace(self, name):
+        tracer = Tracer(wall_clock=_wall)
+        pid = tracer.register_process(name)
+        tid = tracer.register_thread(pid, "pump")
+        tracer.instant("x", pid, tid, 0)
+        return chrome_trace(tracer, label=f"job-{name}")
+
+    def test_pids_remapped_and_labels_prefixed(self):
+        merged = merge_chrome_traces([self._trace("a"), None, self._trace("b")])
+        assert validate_chrome_trace(merged) == []
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {1: "job-a/a", 2: "job-b/b"}
+
+    def test_merge_of_nothing_is_valid_and_empty(self):
+        merged = merge_chrome_traces([])
+        assert validate_chrome_trace(merged) == []
+        assert merged["traceEvents"] == []
+
+
+class TestInstrumentedExperiment:
+    """A real experiment through the full export path."""
+
+    def test_fig1_trace_is_valid_and_complete(self):
+        with observed(trace=True, metrics=False) as session:
+            run_experiment("fig1", seed=0)
+            trace = chrome_trace(session.tracer, label="fig1/seed0")
+            threads = session.tracer.threads()
+        assert validate_chrome_trace(trace) == []
+        events = trace["traceEvents"]
+        assert len(events) > 100
+
+        # Every simulated thread registered exactly one named track.
+        named_tracks = [
+            (e["pid"], e["tid"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert len(named_tracks) == len(set(named_tracks))
+        assert set(named_tracks) == set(threads)
+
+        # Per-track timestamps are monotone non-decreasing.
+        last_ts = {}
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            track = (event["pid"], event["tid"])
+            assert event["ts"] >= last_ts.get(track, 0.0)
+            last_ts[track] = event["ts"]
+
+        # The export survives a real JSON round-trip intact.
+        assert json.loads(json.dumps(trace)) == trace

@@ -1,0 +1,186 @@
+"""Runner-level observability: CLI flags, stats subcommand, logging."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import load_json, manifest_from_dict, metrics_from_dict
+from repro.experiments.runner import _normalize_id, main
+from repro.experiments.stats import render_stats, stats_main
+from repro.obs import get_logger, set_level, validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _reset_log_level():
+    yield
+    set_level("info")
+
+
+class TestLogger:
+    def test_format_and_fields(self, capsys):
+        get_logger("repro.test").warning("queue backed up", depth=3)
+        err = capsys.readouterr().err
+        assert "[warning] repro.test: queue backed up depth=3" in err
+
+    def test_level_threshold(self, capsys):
+        logger = get_logger("repro.test")
+        set_level("error")
+        logger.info("quiet")
+        logger.error("loud")
+        err = capsys.readouterr().err
+        assert "quiet" not in err
+        assert "loud" in err
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            set_level("verbose")
+
+
+class TestCliValidation:
+    """Usage errors keep their exit codes and message substance."""
+
+    def test_invalid_seed(self, capsys):
+        assert main(["fig1", "--seed", "zero"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid --seed value" in err
+        assert "[error]" in err
+
+    def test_bad_retries(self, capsys):
+        assert main(["fig1", "--retries", "-1"]) == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_ids(self, capsys):
+        assert main(["nonesuch"]) == 2
+        assert "unknown experiment ids: nonesuch" in capsys.readouterr().err
+
+    def test_log_level_flag_silences_info(self, tmp_path, capsys):
+        manifest_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "fig1",
+                    "--no-cache",
+                    "--log-level",
+                    "warning",
+                    "--trace-out",
+                    str(tmp_path / "t.json"),
+                ]
+            )
+            == 0
+        )
+        assert "wrote" not in capsys.readouterr().err
+
+    def test_zero_padded_ids_normalize(self):
+        assert _normalize_id("fig07") == "fig7"
+        assert _normalize_id("fig1") == "fig1"
+        assert _normalize_id("nonesuch07") == "nonesuch07"
+
+    def test_run_verb_is_optional(self, capsys):
+        assert main(["run", "--list"]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+
+class TestObsOutputs:
+    def test_trace_and_metrics_files(self, tmp_path):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        save_dir = tmp_path / "out"
+        code = main(
+            [
+                "fig1",
+                "--no-cache",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+                "--save",
+                str(save_dir),
+            ]
+        )
+        assert code == 0
+
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert len(trace["traceEvents"]) > 100
+
+        metrics = metrics_from_dict(load_json(metrics_path))
+        counters = metrics["counters"]
+        assert "repro_sim_context_switches_total" in counters
+        assert "repro_harness_jobs_total" in counters
+        (sample,) = counters["repro_harness_jobs_total"]["samples"]
+        assert sample == {"labels": {"status": "completed"}, "value": 1.0}
+
+        manifest = manifest_from_dict(load_json(save_dir / "manifest.json"))
+        assert manifest["obs"]["trace_out"] == str(trace_path)
+        assert manifest["obs"]["metrics"]["counters"]
+        (entry,) = manifest["experiments"]
+        assert entry["cache_status"] == "miss"
+        assert entry["queue_s"] == 0.0
+        assert entry["checkpoint_writes"] == 0
+
+    def test_prom_suffix_gets_text_format(self, tmp_path):
+        prom_path = tmp_path / "m.prom"
+        assert (
+            main(["fig1", "--no-cache", "--metrics-out", str(prom_path)]) == 0
+        )
+        text = prom_path.read_text()
+        assert "# TYPE repro_harness_jobs_total counter" in text
+        assert 'repro_harness_jobs_total{status="completed"} 1' in text
+
+    def test_manifest_obs_section_without_flags(self, tmp_path):
+        """Harness telemetry lands in the manifest even with no obs
+        flags — the sweep's own accounting is always cheap."""
+        save_dir = tmp_path / "out"
+        assert main(["fig1", "--no-cache", "--save", str(save_dir)]) == 0
+        manifest = manifest_from_dict(load_json(save_dir / "manifest.json"))
+        counters = manifest["obs"]["metrics"]["counters"]
+        assert "repro_harness_cache_reads_total" in counters
+        # No session was open, so no sim metrics should appear.
+        assert "repro_sim_context_switches_total" not in counters
+
+
+class TestStats:
+    def _manifest(self, tmp_path):
+        save_dir = tmp_path / "out"
+        assert main(["fig1", "--no-cache", "--save", str(save_dir)]) == 0
+        return save_dir
+
+    def test_stats_subcommand_renders(self, tmp_path, capsys):
+        save_dir = self._manifest(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", str(save_dir / "manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "sweep of 1 job(s)" in out
+        assert "fig1" in out
+        assert "repro_harness_jobs_total{status=completed} 1" in out
+
+    def test_stats_accepts_directory(self, tmp_path, capsys):
+        save_dir = self._manifest(tmp_path)
+        capsys.readouterr()
+        assert stats_main([str(save_dir)]) == 0
+        assert "totals:" in capsys.readouterr().out
+
+    def test_stats_missing_manifest(self, tmp_path, capsys):
+        assert stats_main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_render_tolerates_pre_obs_manifests(self):
+        manifest = {
+            "jobs": 2,
+            "code_version": "abc",
+            "experiments": [
+                {
+                    "id": "fig1",
+                    "seed": 0,
+                    "wall_s": 1.5,
+                    "cache_hit": True,
+                    "failed_checks": [],
+                    "error": None,
+                }
+            ],
+        }
+        text = render_stats(manifest)
+        assert "fig1" in text
+        assert "hit" in text
+        # Columns the old manifest lacks render as placeholders.
+        assert "-" in text

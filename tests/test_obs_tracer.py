@@ -1,0 +1,104 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+def fixed_wall():
+    return 42
+
+
+class TestRegistry:
+    def test_process_pids_start_at_one(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        assert tracer.register_process("nt40") == 1
+        assert tracer.register_process("win95") == 2
+        assert tracer.processes() == {1: "nt40", 2: "win95"}
+
+    def test_duplicate_process_names_get_suffix(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        tracer.register_process("nt40")
+        tracer.register_process("nt40")
+        tracer.register_process("nt40")
+        assert sorted(tracer.processes().values()) == [
+            "nt40",
+            "nt40#2",
+            "nt40#3",
+        ]
+
+    def test_thread_tids_allocate_and_pin(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        pid = tracer.register_process("nt40")
+        assert tracer.register_thread(pid, "cpu", tid=1) == 1
+        assert tracer.register_thread(pid, "pump") == 2
+        # Pinning onto a taken tid slides to the next free one.
+        assert tracer.register_thread(pid, "other", tid=1) == 3
+
+    def test_unknown_pid_rejected(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        with pytest.raises(ValueError):
+            tracer.register_thread(99, "ghost")
+
+
+class TestRecording:
+    def test_span_round_trip(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        pid = tracer.register_process("nt40")
+        tid = tracer.register_thread(pid, "pump")
+        tracer.begin("handle:CHAR", pid, tid, 100, args={"k": 1})
+        tracer.end(pid, tid, 250)
+        phases = [(e.phase, e.sim_ns) for e in tracer.events()]
+        assert phases == [("B", 100), ("E", 250)]
+        assert tracer.events()[0].wall_ns == 42
+
+    def test_end_without_begin_is_noop(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        pid = tracer.register_process("nt40")
+        tid = tracer.register_thread(pid, "pump")
+        tracer.end(pid, tid, 100)
+        assert tracer.events() == []
+        assert tracer.open_spans(pid, tid) == 0
+
+    def test_nesting_depth_tracked_per_track(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        pid = tracer.register_process("nt40")
+        t1 = tracer.register_thread(pid, "a")
+        t2 = tracer.register_thread(pid, "b")
+        tracer.begin("outer", pid, t1, 0)
+        tracer.begin("inner", pid, t1, 10)
+        tracer.begin("other", pid, t2, 5)
+        assert tracer.open_spans(pid, t1) == 2
+        assert tracer.open_spans(pid, t2) == 1
+        tracer.end(pid, t1, 20)
+        assert tracer.open_spans(pid, t1) == 1
+
+    def test_instants_record_track_and_args(self):
+        tracer = Tracer(wall_clock=fixed_wall)
+        pid = tracer.register_process("nt40")
+        tracer.instant("irq:kbd", pid, 2, 500, args={"vector": "kbd"})
+        (event,) = tracer.events()
+        assert event.phase == "i"
+        assert event.args == {"vector": "kbd"}
+
+    def test_capacity_overflow_counts_dropped(self):
+        tracer = Tracer(capacity=2, wall_clock=fixed_wall)
+        pid = tracer.register_process("nt40")
+        for stamp in range(5):
+            tracer.instant("x", pid, 1, stamp)
+        assert len(tracer.events()) == 2
+        assert tracer.dropped == 3
+        assert tracer.lossy
+
+
+class TestNullTracer:
+    def test_api_compatible_and_free(self):
+        assert NULL_TRACER.enabled is False
+        pid = NULL_TRACER.register_process("nt40")
+        tid = NULL_TRACER.register_thread(pid, "pump")
+        NULL_TRACER.begin("x", pid, tid, 0)
+        NULL_TRACER.instant("y", pid, tid, 1)
+        NULL_TRACER.end(pid, tid, 2)
+        assert NULL_TRACER.events() == []
+        assert len(NULL_TRACER) == 0
+        assert not NULL_TRACER.lossy

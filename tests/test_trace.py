@@ -75,3 +75,40 @@ class TestOverflowPolicies:
         for value in (7, 8):
             buffer.append(value)
         assert list(buffer) == [7, 8]
+
+
+class TestLastIsO1:
+    """last() never materialises the unwrapped copy records() builds."""
+
+    def test_wrap_last_at_every_cursor_position(self):
+        for appended in range(1, 12):
+            buffer = TraceBuffer(4, on_full="wrap")
+            for value in range(appended):
+                buffer.append(value)
+            assert buffer.last() == appended - 1
+            assert buffer.last() == buffer.records()[-1]
+
+    def test_wrap_last_at_exact_boundary(self):
+        # After exactly 2 full cycles the cursor is back at slot 0.
+        buffer = TraceBuffer(3, on_full="wrap")
+        for value in range(6):
+            buffer.append(value)
+        assert buffer._wrap_start == 0
+        assert buffer.last() == 5
+
+    def test_stop_full_buffer_last_is_newest_kept(self):
+        buffer = TraceBuffer(2, on_full="stop")
+        for value in range(5):
+            buffer.append(value)
+        assert buffer.last() == 1  # drops, never overwrites
+
+    def test_last_does_not_copy(self, monkeypatch):
+        buffer = TraceBuffer(3, on_full="wrap")
+        for value in range(5):
+            buffer.append(value)
+
+        def boom():  # records() is the O(n) path last() must avoid
+            raise AssertionError("last() called records()")
+
+        monkeypatch.setattr(buffer, "records", boom)
+        assert buffer.last() == 4
