@@ -7,7 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 SMOKE_OUT   := .smoke-out
 SMOKE_CACHE := .smoke-cache
 
-.PHONY: test benchmarks experiments experiments-smoke faults-smoke \
+.PHONY: test benchmarks bench-json perf-gate perf-baseline \
+	experiments experiments-smoke faults-smoke \
 	obs-smoke obs-overhead \
 	verify-integrity golden-check golden-update verify clean
 
@@ -16,6 +17,26 @@ test:
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Simulator perf metrics: run the engine + fast-forward benchmarks and
+# distil them into BENCH_simulator.json-shaped metrics (see
+# src/repro/perfgate.py).  .bench-raw.json is scratch output.
+bench-json:
+	$(PYTHON) -m pytest benchmarks/test_simulator_perf.py \
+		benchmarks/test_fastforward.py \
+		--benchmark-only --benchmark-json=.bench-raw.json -q
+	$(PYTHON) -m repro.perfgate collect .bench-raw.json -o .bench-current.json
+
+# CI gate: fail if any tracked metric regressed >25% against the
+# committed baseline (or the fast-forward speedup fell below 5x).
+perf-gate: bench-json
+	$(PYTHON) -m repro.perfgate check .bench-current.json \
+		--baseline BENCH_simulator.json
+
+# Re-bless the committed perf baseline after a reviewed change.
+perf-baseline: bench-json
+	cp .bench-current.json BENCH_simulator.json
+	@echo "perf baseline updated: BENCH_simulator.json"
 
 # The full paper reproduction (parallel, cached under ~/.cache/repro).
 experiments:
@@ -106,9 +127,11 @@ golden-update:
 	$(PYTHON) -m repro.verify.golden --update
 
 # The default local verification flow: unit tests, the
-# measurement-integrity gate, then the observability gates.
-verify: test verify-integrity obs-smoke obs-overhead
+# measurement-integrity gate, the observability gates, then the
+# perf-regression gate.
+verify: test verify-integrity obs-smoke obs-overhead perf-gate
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache
+	rm -f .bench-raw.json .bench-current.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

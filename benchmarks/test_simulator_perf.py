@@ -32,6 +32,39 @@ def test_engine_event_throughput(benchmark):
         return count[0]
 
     assert benchmark(run) == 100_000
+    benchmark.extra_info["events"] = 100_000
+    benchmark.extra_info["sim_ns"] = 100_000 * 10
+
+
+def test_engine_calendar_churn(benchmark):
+    """Schedule/cancel-heavy calendar: the lazy-deletion worst case.
+
+    Every executed event schedules a far-future decoy and cancels the
+    previous one — the pattern preemptible work segments produce — so
+    cancelled entries pile up and the calendar must compact to keep the
+    heap (and every pop) from dragging dead weight.
+    """
+
+    def run():
+        sim = Simulator()
+        count = [0]
+        decoy = [None]
+
+        def chain():
+            count[0] += 1
+            if decoy[0] is not None:
+                decoy[0].cancel()
+            decoy[0] = sim.schedule(10**9, lambda: None, "decoy")
+            if count[0] < 50_000:
+                sim.schedule(10, chain)
+
+        sim.schedule(10, chain)
+        sim.run(until_ns=50_000 * 10 + 1)
+        assert sim.compactions > 0, "churn never triggered compaction"
+        return count[0]
+
+    assert benchmark(run) == 50_000
+    benchmark.extra_info["events"] = 50_000
 
 
 def test_syscall_dispatch_throughput(benchmark):

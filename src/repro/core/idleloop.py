@@ -19,11 +19,11 @@ trace-buffer size, the trade-off the paper states and which the
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..sim.timebase import NS_PER_MS, ns_from_ms
-from ..sim.trace import TraceBuffer
-from ..winsys.syscalls import Compute, Syscall
+from ..sim.trace import IntTraceBuffer, TraceBuffer
+from ..winsys.syscalls import IdleCompute, Syscall
 from ..winsys.system import WindowsSystem
 from .samples import SampleTrace
 
@@ -49,9 +49,18 @@ class IdleLoopInstrument:
         self.loop_ns = ns_from_ms(loop_ms)
         #: Number of busy-wait iterations per record ("N" in the paper).
         self.n_iterations = self._calibrate()
-        self.buffer: TraceBuffer[int] = TraceBuffer(buffer_capacity, on_full="stop")
+        self.buffer: TraceBuffer[int] = IntTraceBuffer(buffer_capacity, on_full="stop")
         self.thread = None
         self._installed = False
+        #: Optional per-record callback ``hook(timestamp_ns)``, invoked
+        #: once for every trace record — including records a fast-forward
+        #: batch synthesizes (probes that pair each record with a counter
+        #: reading, e.g. :class:`repro.core.isrcost.InterruptCostProbe`,
+        #: hook here rather than wrapping ``buffer.append``, which the
+        #: batch path bypasses).  Counters cannot change between the
+        #: events of a batch, so the paired readings are identical with
+        #: fast-forward on or off.
+        self.record_hook: Optional[Callable[[int], None]] = None
 
     def _calibrate(self) -> int:
         """Choose N so the loop takes ``loop_ms`` on an idle processor.
@@ -79,9 +88,36 @@ class IdleLoopInstrument:
         work = self.system.personality.app_work(
             self.loop_work_cycles, label="idle-loop"
         )
-        while self.buffer.space_left:
-            yield Compute(work)
-            self.buffer.append(self.system.now)
+        system = self.system
+        buffer = self.buffer
+        # Segment wall-duration on an idle processor — the record spacing
+        # fast-forward batches reproduce.  Computed through the same CPU
+        # model the kernel charges, so the two can never disagree.
+        step_ns = system.machine.cpu.duration_ns(work)
+        while True:
+            space = buffer.space_left
+            if not space:
+                break
+            # max_batch caps any analytic batch at the records that still
+            # fit, mirroring this loop's own space_left check.
+            batched = yield IdleCompute(work, max_batch=space)
+            hook = self.record_hook
+            if batched is None:
+                # Segment executed on the (possibly contended) CPU; its
+                # elongation, if any, is the measurement.
+                now = system.now
+                buffer.append(now)
+                if hook is not None:
+                    hook(now)
+            else:
+                # The kernel completed `batched` uncontended segments
+                # analytically; their records are exactly evenly spaced,
+                # ending at the jumped-to now.
+                start = system.now - (batched - 1) * step_ns
+                buffer.extend_ramp(start, step_ns, batched)
+                if hook is not None:
+                    for i in range(batched):
+                        hook(start + i * step_ns)
 
     def trace(self) -> SampleTrace:
         """The trace collected so far, ready for analysis."""

@@ -90,17 +90,18 @@ class InterruptCostProbe:
             raise RuntimeError("interrupt-cost probe already installed")
         self._installed = True
         self.system.perf.configure(HwEvent.INTERRUPTS)
-        # Wrap the instrument's program so each trace record is paired
-        # with an interrupt-counter reading taken at the same moment.
-        original_append = self.instrument.buffer.append
+        # Pair each trace record with an interrupt-counter reading taken
+        # at the same moment, via the instrument's record hook (which
+        # fast-forward batches honour — interrupts only occur at calendar
+        # events, so the counter is constant across a batch and the
+        # synthesized readings match a non-batched run exactly).
+        perf = self.system.perf
+        readings = self._interrupt_readings
 
-        def append_with_counter(record):
-            self._interrupt_readings.append(
-                self.system.perf.read_event_counter(0)
-            )
-            return original_append(record)
+        def read_counter(_timestamp_ns: int) -> None:
+            readings.append(perf.read_event_counter(0))
 
-        self.instrument.buffer.append = append_with_counter
+        self.instrument.record_hook = read_counter
         self.instrument.install()
 
     def measure(self, duration_ms: float = 2000.0) -> InterruptCostReport:

@@ -183,6 +183,7 @@ def execute_job(
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
+    fast_forward: bool = True,
 ) -> JobResult:
     """Run one job, consulting and feeding the cache.
 
@@ -207,7 +208,16 @@ def execute_job(
     observed job bypasses cache *reads* — a cached hit would yield no
     telemetry — but still writes its entry, which determinism makes
     harmless.
+
+    ``fast_forward`` sets this process's idle fast-forward default
+    (``--no-fast-forward``).  It is deliberately *not* part of the cache
+    variant: the fast path is bit-identical to the slow one (enforced by
+    the golden digests and ``tests/test_fastforward.py``), so either
+    setting may serve the other's cached payload.
     """
+    from ..sim.engine import set_fast_forward_default
+
+    set_fast_forward_default(fast_forward)
     started = time.perf_counter()
     kwargs, variant = job_variant(experiment_id, run_kwargs)
     obs = obs or {}
@@ -433,6 +443,7 @@ def _pool_round(
                     options.get("checkpoint_dir"),
                     options.get("checkpoint_interval", 1),
                     options.get("obs"),
+                    options.get("fast_forward", True),
                 )
             )
         for (index, (experiment_id, seed)), future, submit_stamp in zip(
@@ -507,6 +518,7 @@ def run_specs(
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
+    fast_forward: bool = True,
 ) -> List[JobResult]:
     """Execute an explicit ``(experiment_id, seed)`` job list.
 
@@ -538,6 +550,7 @@ def run_specs(
         "checkpoint_dir": checkpoint_dir,
         "checkpoint_interval": checkpoint_interval,
         "obs": obs,
+        "fast_forward": fast_forward,
     }
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -620,6 +633,7 @@ def run_many(
     checkpoint_dir: Optional[str] = None,
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
+    fast_forward: bool = True,
 ) -> List[JobResult]:
     """Execute the ``ids × seeds`` sweep and return ordered results.
 
@@ -646,4 +660,5 @@ def run_many(
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=checkpoint_interval,
         obs=obs,
+        fast_forward=fast_forward,
     )

@@ -46,6 +46,7 @@ from ..obs import (
     prometheus_text,
     set_level,
 )
+from ..sim.engine import set_fast_forward_default
 from ..verify.invariants import check_payload
 from .parallel import JobResult, SweepInterrupted, run_specs
 from .registry import EXPERIMENTS, TITLES
@@ -398,6 +399,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help=(
+            "disable the idle fast-forward simulation optimisation; results "
+            "are bit-identical either way (this flag exists for A/B "
+            "verification and wall-time comparison, see docs/performance.md)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         metavar="DIR",
         default=None,
@@ -440,6 +450,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     set_level(args.log_level)
+    # Applies to in-process work (sequential sweeps, the strict-invariants
+    # probe matrix); pool workers get it via the job options below.
+    set_fast_forward_default(not args.no_fast_forward)
 
     if args.list:
         for experiment_id, title in TITLES.items():
@@ -596,6 +609,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_interval=args.checkpoint_interval,
             obs=obs_opts,
+            fast_forward=not args.no_fast_forward,
         )
     except SweepInterrupted as exc:
         # Ctrl-C: outstanding jobs were cancelled; keep what finished

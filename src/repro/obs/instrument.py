@@ -121,6 +121,31 @@ class SystemInstrumentation:
             "repro_sim_sync_io_outstanding_high_water",
             "Maximum concurrent outstanding synchronous I/O operations.",
         )
+        self._ff_batches = registry.counter(
+            "repro_sim_fast_forward_batches_total",
+            "Idle fast-forward batches (analytic idle-loop jumps).",
+        )
+        self._ff_segments = registry.counter(
+            "repro_sim_fast_forward_segments_total",
+            "Idle-loop segments completed analytically by fast-forward.",
+        )
+        self._ff_ns = registry.counter(
+            "repro_sim_fast_forward_ns_total",
+            "Simulated nanoseconds crossed by idle fast-forward jumps.",
+        )
+        self._calendar_depth = registry.gauge(
+            "repro_sim_calendar_depth_high_water",
+            "Maximum event-calendar length (live + cancelled entries).",
+        )
+        self._calendar_cancelled = registry.gauge(
+            "repro_sim_calendar_cancelled_fraction",
+            "Cancelled fraction of the event calendar at snapshot time.",
+        )
+        self._calendar_compactions = registry.gauge(
+            "repro_sim_calendar_compactions",
+            "Lazy-deletion compactions performed by the event calendar.",
+        )
+        session.add_flush(self.flush_calendar_stats)
 
     # ------------------------------------------------------------------
     # Threads and the CPU track
@@ -167,6 +192,19 @@ class SystemInstrumentation:
 
     def context_switch(self, reason: str) -> None:
         self._ctx_switches.inc(os=self.os, reason=reason)
+
+    def fast_forward(self, segments: int, span_ns: int) -> None:
+        """One analytic idle batch: ``segments`` completions, ``span_ns`` ns."""
+        self._ff_batches.inc(os=self.os)
+        self._ff_segments.inc(segments, os=self.os)
+        self._ff_ns.inc(span_ns, os=self.os)
+
+    def flush_calendar_stats(self) -> None:
+        """Publish event-calendar health gauges (run at metrics snapshot)."""
+        sim = self._sim
+        self._calendar_depth.set_max(sim.calendar_high_water, os=self.os)
+        self._calendar_cancelled.set(sim.cancelled_fraction(), os=self.os)
+        self._calendar_compactions.set_max(sim.compactions, os=self.os)
 
     def dpc_begin(self, label: str) -> None:
         now = self._sim.now

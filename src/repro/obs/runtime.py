@@ -47,11 +47,21 @@ class ObsSession:
         self.registry: Optional[MetricsRegistry] = (
             MetricsRegistry() if metrics else None
         )
+        #: Callbacks run just before every metrics snapshot — how
+        #: point-in-time gauges (calendar depth, cancelled fraction) get
+        #: their final values without per-event publishing cost.
+        self._flush_hooks: list = []
+
+    def add_flush(self, hook) -> None:
+        """Register a zero-argument callback to run at snapshot time."""
+        self._flush_hooks.append(hook)
 
     def metrics_snapshot(self) -> Optional[dict]:
         if self.registry is None:
             return None
         self._flush_trace_loss()
+        for hook in self._flush_hooks:
+            hook()
         return self.registry.snapshot()
 
     def _flush_trace_loss(self) -> None:

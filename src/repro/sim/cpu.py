@@ -33,6 +33,21 @@ __all__ = ["CPU"]
 class CPU:
     """Single simulated processor with pro-rata event accounting."""
 
+    __slots__ = (
+        "sim",
+        "perf",
+        "hz",
+        "busy_ns",
+        "_work",
+        "_context",
+        "_on_complete",
+        "_start_ns",
+        "_stolen_ns",
+        "_charged_fraction",
+        "_completion",
+        "_duration_ns",
+    )
+
     def __init__(self, sim: Simulator, perf: PerfCounters, hz: int = DEFAULT_CPU_HZ):
         self.sim = sim
         self.perf = perf
@@ -46,6 +61,9 @@ class CPU:
         self._stolen_ns = 0
         self._charged_fraction = 0.0
         self._completion: Optional[ScheduledEvent] = None
+        #: Base duration of the in-flight segment (cached at start so the
+        #: hot completion path does not recompute it).
+        self._duration_ns = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -80,16 +98,20 @@ class CPU:
         """
         if self._work is not None:
             raise SimulationError("CPU.start while busy; preempt first")
+        sim = self.sim
         self._work = work
         self._context = context
         self._on_complete = on_complete
-        self._start_ns = self.sim.now
+        self._start_ns = sim.now
         self._stolen_ns = 0
         self._charged_fraction = 0.0
-        duration = self.duration_ns(work)
-        self._completion = self.sim.schedule(
-            duration, self._complete, label=f"work-done:{work.label}"
-        )
+        # The completion label is a constant: building a per-segment
+        # f-string here allocated on every single work segment, dominant
+        # in idle-loop traces (the segment itself is still identified by
+        # work.label through the CPU state).
+        duration = cycles_to_ns(work.cycles, self.hz)
+        self._duration_ns = duration
+        self._completion = sim.schedule(duration, self._complete, "work-done")
 
     def _executed_ns(self) -> int:
         """Nanoseconds of actual progress on the current segment."""
@@ -108,12 +130,29 @@ class CPU:
         work, context, callback = self._work, self._context, self._on_complete
         assert work is not None and callback is not None
         self._charge_progress(1.0)
-        self.busy_ns += self.duration_ns(work)
+        self.busy_ns += self._duration_ns
         self._work = None
         self._context = None
         self._on_complete = None
         self._completion = None
         callback(context)
+
+    def credit_idle_batch(self, work: Work, duration_ns: int, count: int) -> None:
+        """Account ``count`` back-to-back completions of ``work`` at once.
+
+        The idle fast-forward path (see
+        :meth:`repro.winsys.kernel.Kernel._try_fast_forward`) skips the
+        execution of ``count`` identical idle-loop segments and calls
+        this instead.  It must be bit-identical to ``count`` sequential
+        :meth:`start`/:meth:`_complete` rounds: a completed segment
+        charges its events at fraction 1.0 — whole counts that never
+        touch the fractional residual — so the batch add below matches
+        exactly.  The CPU must be free (the kernel guarantees it).
+        """
+        if self._work is not None:
+            raise SimulationError("credit_idle_batch while busy")
+        self.busy_ns += duration_ns * count
+        self.perf.charge_events_whole(work.events, count)
 
     def preempt(self) -> Tuple[object, Optional[Work]]:
         """Take the CPU away from the current segment.
@@ -127,7 +166,7 @@ class CPU:
         assert self._completion is not None
         self._completion.cancel()
         work, context = self._work, self._context
-        total_ns = self.duration_ns(work)
+        total_ns = self._duration_ns
         executed_ns = min(self._executed_ns(), total_ns)
         fraction = executed_ns / total_ns if total_ns else 1.0
         self._charge_progress(fraction)

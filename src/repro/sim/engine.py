@@ -11,7 +11,18 @@ Events are cancellable: :meth:`Simulator.schedule` returns a
 removes it logically (the heap entry is left in place and skipped on
 pop, the standard lazy-deletion technique).  Cancellation is what lets
 the CPU model preempt an in-flight work segment and re-schedule its
-completion.
+completion.  When cancelled entries come to dominate the heap — every
+clock tick that steals time from an in-flight segment leaves one behind
+— the calendar compacts itself in place; since live events are totally
+ordered by their unique ``(time, seq)`` key, rebuilding the heap cannot
+change the pop order.
+
+The engine also carries the state the idle fast-forward path (see
+:mod:`repro.winsys.kernel` and ``docs/performance.md``) needs to stay
+bit-identical to ordinary execution: the active run horizon, and a
+:meth:`Simulator.fast_forward` jump that advances the clock *and* the
+sequence/executed counters exactly as executing the skipped events one
+by one would have.
 """
 
 from __future__ import annotations
@@ -19,28 +30,68 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
-__all__ = ["ScheduledEvent", "Simulator", "SimulationError"]
+__all__ = [
+    "ScheduledEvent",
+    "Simulator",
+    "SimulationError",
+    "fast_forward_default",
+    "set_fast_forward_default",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine operations (e.g. scheduling in the past)."""
 
 
+#: Process-global default for the idle fast-forward optimisation.  Booted
+#: kernels read it once; ``--no-fast-forward`` (and A/B tests) flip it.
+#: The output is bit-identical either way — the flag exists so that the
+#: equivalence is *checkable*, not because the results differ.
+_fast_forward_default = True
+
+
+def fast_forward_default() -> bool:
+    """Whether newly booted kernels enable the idle fast-forward."""
+    return _fast_forward_default
+
+
+def set_fast_forward_default(enabled: bool) -> None:
+    """Set the process-global fast-forward default (see ``--no-fast-forward``)."""
+    global _fast_forward_default
+    _fast_forward_default = bool(enabled)
+
+
+#: Compaction threshold: never compact tiny heaps (the rebuild would cost
+#: more than the skipped pops it saves).
+_COMPACT_MIN_QUEUE = 64
+
+
 class ScheduledEvent:
     """Handle for a pending callback on the event calendar."""
 
-    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None], label: str):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], None],
+        label: str,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.label = label
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Logically remove the event; it will be skipped when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancel()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -58,14 +109,44 @@ class Simulator:
     shared by every component of one simulated machine.
     """
 
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_queue",
+        "_running",
+        "_stop_requested",
+        "_horizon",
+        "_ff_allowed",
+        "_cancelled",
+        "events_executed",
+        "events_fast_forwarded",
+        "compactions",
+        "calendar_high_water",
+    )
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
         self._queue: List[ScheduledEvent] = []
         self._running = False
         self._stop_requested = False
+        #: Horizon of the active :meth:`run` call (``until_ns``), or None.
+        self._horizon: Optional[int] = None
+        #: False while a ``max_events``-bounded run is active — fast
+        #: forward would execute segments the bound should count.
+        self._ff_allowed = True
+        #: Cancelled entries still sitting in the heap (lazy deletion).
+        self._cancelled = 0
         #: Number of callbacks executed; useful for engine diagnostics.
+        #: Fast-forwarded segments count here too, so the tally matches
+        #: a run with the optimisation disabled.
         self.events_executed = 0
+        #: Of ``events_executed``, how many were synthesized analytically.
+        self.events_fast_forwarded = 0
+        #: In-place heap rebuilds triggered by cancelled-entry pile-up.
+        self.compactions = 0
+        #: Maximum calendar length observed (live + cancelled entries).
+        self.calendar_high_water = 0
 
     @property
     def now(self) -> int:
@@ -98,9 +179,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_ns} ns; now is {self._now} ns"
             )
-        event = ScheduledEvent(time_ns, self._seq, callback, label)
+        event = ScheduledEvent(time_ns, self._seq, callback, label, self)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        queue = self._queue
+        heapq.heappush(queue, event)
+        if len(queue) > self.calendar_high_water:
+            self.calendar_high_water = len(queue)
         return event
 
     def stop(self) -> None:
@@ -115,8 +199,105 @@ class Simulator:
         return self._queue[0].time
 
     def _discard_cancelled(self) -> None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping on event cancellation; compacts when dominated."""
+        self._cancelled += 1
+        n = len(self._queue)
+        if n >= _COMPACT_MIN_QUEUE and self._cancelled * 2 > n:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap, in place.
+
+        In place matters: :meth:`run` holds a local alias of the queue
+        list, so the list object must survive.  Determinism is free —
+        live events carry unique ``(time, seq)`` keys, so any valid heap
+        over the same set pops in the same order.
+        """
+        queue = self._queue
+        queue[:] = [event for event in queue if not event.cancelled]
+        heapq.heapify(queue)
+        self._cancelled = 0
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Calendar statistics (observability gauges)
+    # ------------------------------------------------------------------
+    def calendar_depth(self) -> int:
+        """Current calendar length, cancelled entries included."""
+        return len(self._queue)
+
+    def cancelled_fraction(self) -> float:
+        """Fraction of calendar entries that are cancelled (0.0 if empty)."""
+        n = len(self._queue)
+        return self._cancelled / n if n else 0.0
+
+    # ------------------------------------------------------------------
+    # Fast-forward support (see repro.winsys.kernel._try_fast_forward)
+    # ------------------------------------------------------------------
+    def fast_forward_budget(self, step_ns: int) -> int:
+        """Largest ``k`` such that jumping ``k * step_ns`` is invisible.
+
+        The jump must land strictly before the next live calendar event
+        (a segment that would span it must execute normally so the event
+        — typically a clock tick stealing time — elongates it exactly as
+        on the slow path) and at or before the active run horizon (the
+        slow path executes events at the horizon itself).  Returns 0
+        when no bound exists (empty calendar and no horizon — nothing to
+        fast-forward *to*), when a ``max_events`` run is active, or when
+        a stop was requested mid-callback.
+        """
+        if step_ns <= 0 or not self._ff_allowed or self._stop_requested:
+            return 0
+        self._discard_cancelled()
+        queue = self._queue
+        budget = None
+        if queue:
+            # An event at or before now + step (e.g. an isr-return at the
+            # current timestamp) leaves no room for even one segment.
+            budget = (queue[0].time - self._now - 1) // step_ns
+            if budget <= 0:
+                return 0
+        horizon = self._horizon
+        if horizon is not None:
+            by_horizon = (horizon - self._now) // step_ns
+            if budget is None or by_horizon < budget:
+                budget = by_horizon
+        return budget if budget is not None and budget > 0 else 0
+
+    def fast_forward(self, delta_ns: int, events: int) -> None:
+        """Jump the clock by ``delta_ns``, accounting ``events`` callbacks.
+
+        The sequence counter advances by ``events`` too, so every event
+        scheduled afterwards receives the exact ``(time, seq)`` key it
+        would have had if the skipped callbacks had each performed one
+        ``schedule`` + execution round — which is what keeps ordering
+        (and therefore every downstream trace) bit-identical.
+        """
+        if delta_ns < 0 or events < 0:
+            raise SimulationError(
+                f"cannot fast-forward by {delta_ns} ns / {events} events"
+            )
+        target = self._now + delta_ns
+        if self._horizon is not None and target > self._horizon:
+            raise SimulationError(
+                f"fast-forward to {target} ns crosses run horizon "
+                f"{self._horizon} ns"
+            )
+        if self._queue and target >= self._queue[0].time:
+            raise SimulationError(
+                f"fast-forward to {target} ns crosses pending event at "
+                f"{self._queue[0].time} ns"
+            )
+        self._now = target
+        self._seq += events
+        self.events_executed += events
+        self.events_fast_forwarded += events
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
@@ -152,7 +333,13 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         self._stop_requested = False
+        self._horizon = until_ns
+        self._ff_allowed = max_events is None
         executed = 0
+        # The hot loop: local bindings, no step()/peek indirection.  The
+        # queue list is aliased locally — compaction mutates it in place.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
             while True:
                 if self._stop_requested:
@@ -161,23 +348,29 @@ class Simulator:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self._discard_cancelled()
-                if not self._queue:
+                while queue and queue[0].cancelled:
+                    heappop(queue)
+                    self._cancelled -= 1
+                if not queue:
                     break
-                next_time = self._queue[0].time
-                if until_ns is not None and next_time > until_ns:
+                event = queue[0]
+                if until_ns is not None and event.time > until_ns:
                     self._now = until_ns
                     break
-                if not self.step():
-                    break
+                heappop(queue)
+                self._now = event.time
+                self.events_executed += 1
+                event.callback()
                 executed += 1
-            if until_ns is not None and self._now < until_ns and not self._queue:
+            if until_ns is not None and self._now < until_ns and not queue:
                 # Nothing left to do before the horizon; advance the clock.
                 self._now = until_ns
         finally:
             self._running = False
+            self._horizon = None
+            self._ff_allowed = True
         return self._now
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events on the calendar."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events on the calendar — O(1)."""
+        return len(self._queue) - self._cancelled

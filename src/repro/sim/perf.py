@@ -85,6 +85,20 @@ class PerfCounters:
             if count:
                 self.charge(event, count * fraction)
 
+    def charge_events_whole(self, events: Dict[HwEvent, int], times: int = 1) -> None:
+        """Charge integer event annotations ``times`` times over, exactly.
+
+        Bit-identical to ``times`` calls of ``charge_events(events, 1.0)``:
+        a whole-count charge adds the integer straight to the tally and
+        leaves the fractional residual untouched, so batching the adds
+        cannot change any counter value.  This is what lets the idle
+        fast-forward credit a run of completed segments in one step.
+        """
+        tally = self._tally
+        for event, count in events.items():
+            if count:
+                tally[event] += count * times
+
     # ------------------------------------------------------------------
     # Measured surface
     # ------------------------------------------------------------------

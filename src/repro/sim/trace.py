@@ -6,13 +6,20 @@ Section 2.3).  :class:`TraceBuffer` models that: a capacity-bounded,
 append-only log whose overflow behaviour is explicit, because buffer
 sizing versus loop calibration (the N parameter) is one of the paper's
 stated trade-offs.
+
+:class:`IntTraceBuffer` is the specialization the idle trace actually
+uses: records are integer nanosecond timestamps, stored in a compact
+``array('q')`` instead of a list of boxed ints, with an arithmetic-ramp
+bulk append (:meth:`IntTraceBuffer.extend_ramp`) for the fast-forward
+path that synthesizes a run of evenly spaced records in one step.
 """
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, List, Optional, TypeVar
+from array import array
+from typing import Generic, Iterator, List, Optional, Sequence, TypeVar
 
-__all__ = ["TraceBuffer", "TraceOverflow"]
+__all__ = ["TraceBuffer", "IntTraceBuffer", "TraceOverflow"]
 
 T = TypeVar("T")
 
@@ -88,13 +95,32 @@ class TraceBuffer(Generic[T]):
         return True
 
     def records(self) -> List[T]:
-        """Records in chronological order (unwrapping the ring if needed)."""
+        """Records in chronological order, as a fresh list.
+
+        Every call copies; callers that only need to *read* the records
+        — especially in a loop or per-record pass — should prefer
+        :meth:`view` or plain iteration, both of which are zero-copy for
+        unwrapped buffers.
+        """
+        return list(self.view())
+
+    def view(self) -> Sequence[T]:
+        """Zero-copy chronological read view of the records.
+
+        Returns the live internal storage (a list, or an ``array`` for
+        :class:`IntTraceBuffer`): do not mutate it, and re-call after
+        appending.  Only a wrapped ring has to materialize a copy, since
+        chronological order then stitches two slices together.
+        """
         if self.on_full == "wrap" and self.full and self._wrap_start:
-            return self._records[self._wrap_start:] + self._records[: self._wrap_start]
-        return list(self._records)
+            return (
+                self._records[self._wrap_start :]
+                + self._records[: self._wrap_start]
+            )
+        return self._records
 
     def __iter__(self) -> Iterator[T]:
-        return iter(self.records())
+        return iter(self.view())
 
     def last(self) -> Optional[T]:
         """Most recent record, or None when empty — O(1).
@@ -109,8 +135,56 @@ class TraceBuffer(Generic[T]):
             return self._records[self._wrap_start - 1]
         return self._records[-1]
 
+    def extend_ramp(self, start: T, step: T, count: int) -> None:
+        """Append ``count`` records ``start, start+step, ...`` at once.
+
+        Generic fallback for arithmetic record types; the
+        :class:`IntTraceBuffer` override is the fast path.  The run must
+        fit: the caller bounds ``count`` by :attr:`space_left` (the
+        fast-forward batch protocol does exactly that).
+        """
+        if count <= 0:
+            return
+        if count > self.space_left:
+            raise TraceOverflow(
+                f"ramp of {count} records exceeds space_left={self.space_left}"
+            )
+        value = start
+        append = self._records.append
+        for _ in range(count):
+            append(value)
+            value = value + step  # type: ignore[operator]
+
     def clear(self) -> None:
-        self._records.clear()
+        del self._records[:]
         self._wrap_start = 0
         self.dropped = 0
         self.overwritten = 0
+
+
+class IntTraceBuffer(TraceBuffer[int]):
+    """Integer-timestamp trace buffer backed by a compact ``array('q')``.
+
+    The idle-loop instrument appends one int64 nanosecond timestamp per
+    record; storing them unboxed roughly quarters the memory per record
+    and makes the fast-forward bulk append a single C-level
+    ``array.extend(range(...))``.  All :class:`TraceBuffer` semantics
+    (capacity, overflow policies, loss accounting) are inherited.
+    """
+
+    def __init__(self, capacity: int, on_full: str = "stop") -> None:
+        super().__init__(capacity, on_full)
+        self._records = array("q")  # type: ignore[assignment]
+
+    def extend_ramp(self, start: int, step: int, count: int) -> None:
+        """Bulk-append the arithmetic run ``start, start+step, ...``."""
+        if count <= 0:
+            return
+        if count > self.space_left:
+            raise TraceOverflow(
+                f"ramp of {count} records exceeds space_left={self.space_left}"
+            )
+        if step == 0:
+            self._records.extend([start] * count)
+        else:
+            self._records.extend(range(start, start + count * step, step))

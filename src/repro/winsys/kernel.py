@@ -29,6 +29,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from ..sim.devices.disk import DiskRequest
 from ..sim.devices.keyboard import KeyEvent
 from ..sim.devices.mouse import MouseEvent
+from ..sim.engine import fast_forward_default
 from ..sim.machine import Machine
 from ..sim.work import Work
 from .filesystem import BufferCache, FileSystem
@@ -47,6 +48,7 @@ from .syscalls import (
     GdiFlush,
     GdiOp,
     GetMessage,
+    IdleCompute,
     KillTimer,
     PeekMessage,
     PostMessage,
@@ -140,9 +142,15 @@ class Kernel:
         self._spin_began_ns = 0
         self._pending_mouse_down: Optional[MouseEvent] = None
         self._booted = False
+        #: Idle fast-forward switch (see :meth:`_try_fast_forward`).  The
+        #: result is bit-identical either way; the process-global default
+        #: is flipped by ``--no-fast-forward`` for A/B comparison.
+        self.fast_forward = fast_forward_default()
         # Diagnostics.
         self.context_switches = 0
         self.dpcs_run = 0
+        self.fast_forward_batches = 0
+        self.fast_forward_segments = 0
         #: Observability hook (a SystemInstrumentation from repro.obs),
         #: attached by boot() when a session is active; None otherwise.
         #: Every call site guards with ``is not None`` so the disabled
@@ -385,6 +393,10 @@ class Kernel:
         now = self.sim.now
 
         if isinstance(syscall, Compute):
+            if syscall.__class__ is IdleCompute and self.fast_forward:
+                batched = self._try_fast_forward(thread, syscall)
+                if batched:
+                    return ("result", batched)
             return ("compute", syscall.work, None)
 
         if isinstance(syscall, GetMessage):
@@ -553,6 +565,62 @@ class Kernel:
 
         raise KernelPanic(f"unknown syscall {syscall!r}")
 
+    def _try_fast_forward(self, thread: SimThread, syscall: IdleCompute) -> int:
+        """Complete up to ``syscall.max_batch`` idle segments analytically.
+
+        Preconditions for a batch (otherwise return 0 and execute the
+        segment normally):
+
+        * ``thread`` is the running thread, the CPU is free, no DPC is
+          queued, no ready thread exists, no Win95 mouse spin is active —
+          i.e. *nothing* but this idle loop can touch the processor
+          before the next calendar event fires;
+        * the calendar (or the active run horizon) bounds the jump, and
+          at least one whole segment fits strictly before the next live
+          event.  The segment that would *span* that event is excluded
+          on purpose: it must execute normally so the event — typically
+          the clock tick whose ISR steals time — elongates it exactly as
+          on the slow path.  The elongation is the paper's measurement;
+          fast-forward only skips the segments that carry no signal.
+
+        A batch of ``k`` segments then reproduces, in closed form, the
+        exact machine state ``k`` execute/complete rounds would leave:
+        the clock advances ``k * duration``, the calendar sequence and
+        executed-event counters advance by ``k`` (one completion event
+        each), the CPU accrues ``k * duration`` busy time, and the
+        segment's hardware events are charged ``k`` whole times (whole
+        charges never touch the fractional residual).  The syscall
+        result ``k`` tells the instrument to synthesize the ``k`` trace
+        records.  Equivalence is proven record-for-record by
+        ``tests/test_fastforward.py`` and the golden digests.
+        """
+        limit = syscall.max_batch
+        if (
+            limit <= 0
+            or self._dpc_queue
+            or self._spin_active
+            or self.running is not thread
+            or self.cpu.busy
+            or self.scheduler.ready_count() > 0
+        ):
+            return 0
+        work = syscall.work
+        duration = self.cpu.duration_ns(work)
+        if duration <= 0:
+            return 0
+        batch = self.sim.fast_forward_budget(duration)
+        if batch > limit:
+            batch = limit
+        if batch <= 0:
+            return 0
+        self.sim.fast_forward(batch * duration, events=batch)
+        self.cpu.credit_idle_batch(work, duration, batch)
+        self.fast_forward_batches += 1
+        self.fast_forward_segments += batch
+        if self.obs is not None:
+            self.obs.fast_forward(batch, batch * duration)
+        return batch
+
     def _block_value(self, thread: SimThread, reason: str):
         """Block from inside a pending action (returns the sentinel)."""
         thread.state = ThreadState.BLOCKED
@@ -659,17 +727,19 @@ class Kernel:
     def _on_clock_tick(self, _tick) -> None:
         now = self.sim.now
         # Fire due application timers; timers of finished threads are
-        # reaped so they cannot hold the system out of quiescence.
-        for key, timer in list(self._timers.items()):
-            if timer.thread.done:
-                del self._timers[key]
-                continue
-            if now >= timer.next_due_ns:
-                timer.next_due_ns = now + timer.period_ns
-                self.post_message(
-                    timer.thread,
-                    Message(WM.TIMER, payload=timer.timer_id, from_input=False),
-                )
+        # reaped so they cannot hold the system out of quiescence.  The
+        # no-timer case (every idle tick) must not allocate.
+        if self._timers:
+            for key, timer in list(self._timers.items()):
+                if timer.thread.done:
+                    del self._timers[key]
+                    continue
+                if now >= timer.next_due_ns:
+                    timer.next_due_ns = now + timer.period_ns
+                    self.post_message(
+                        timer.thread,
+                        Message(WM.TIMER, payload=timer.timer_id, from_input=False),
+                    )
         # Per-tick scheduler/timer DPC — only when the tick has actual
         # work to do (armed timers, runnable threads, or a non-idle
         # thread to account against).  A fully idle system's cheapest

@@ -19,6 +19,7 @@ from .messages import Message, WM
 __all__ = [
     "Syscall",
     "Compute",
+    "IdleCompute",
     "BusyWait",
     "GetMessage",
     "PeekMessage",
@@ -51,6 +52,28 @@ class Compute(Syscall):
     """Execute ``work`` on the CPU (application-private computation)."""
 
     work: Work
+
+
+@dataclass
+class IdleCompute(Compute):
+    """One idle-loop busy-wait segment, batchable by the fast-forward path.
+
+    Identical to :class:`Compute` except that the issuer declares the
+    segment *stateless and repeating*: if the kernel finds the machine
+    otherwise idle it may complete up to ``max_batch`` consecutive
+    segments analytically (jumping the clock instead of executing each
+    busy-wait) and return the number batched as the syscall result.  A
+    ``None`` result means the segment executed normally.  The issuer —
+    the idle-loop instrument — then synthesizes the trace records the
+    executed segments would have produced.  ``max_batch`` is the
+    instrument's remaining buffer space, so a batch can never run past
+    the point where the real loop would have stopped ("while
+    space_left_in_the_buffer").  With ``max_batch=0`` (or the kernel's
+    ``fast_forward`` flag off) the syscall degenerates to ``Compute``,
+    which is the bit-identical slow path the A/B tests compare against.
+    """
+
+    max_batch: int = 0
 
 
 @dataclass

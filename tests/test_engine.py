@@ -154,3 +154,86 @@ class TestRunBounds:
         sim.schedule(2, lambda: None)
         sim.run()
         assert sim.events_executed == 2
+
+
+class TestCompaction:
+    """Lazy-deletion bookkeeping: the calendar compacts itself when
+    cancelled entries dominate, without changing pop order."""
+
+    def test_pending_count_is_live_events_only(self, sim):
+        handles = [sim.schedule(10 * i + 10, lambda: None) for i in range(5)]
+        assert sim.pending_count() == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending_count() == 3
+
+    def test_double_cancel_counted_once(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_count() == 1
+
+    def test_small_queues_never_compact(self, sim):
+        handles = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.compactions == 0
+
+    def test_cancel_heavy_queue_compacts(self, sim):
+        handles = [sim.schedule(10 + i, lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert sim.compactions >= 1
+        # Compaction purged the dead majority; the handful cancelled
+        # since may still sit in the heap awaiting lazy discard.
+        assert sim.calendar_depth() < 100
+        assert sim.pending_count() == 50
+
+    def test_compaction_preserves_execution_order(self, sim):
+        order = []
+        handles = []
+        for index in range(300):
+            handles.append(
+                sim.schedule(1000 - index, lambda i=index: order.append(i))
+            )
+        for index, handle in enumerate(handles):
+            if index % 3:
+                handle.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        # Survivors fire in descending index order (later index = earlier
+        # time) — exactly the order the uncompacted calendar would use.
+        expected = [i for i in range(299, -1, -1) if i % 3 == 0]
+        assert order == expected
+
+    def test_cancelled_fraction_gauge(self, sim):
+        assert sim.cancelled_fraction() == 0.0
+        handles = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+        handles[0].cancel()
+        handles[1].cancel()
+        assert sim.cancelled_fraction() == pytest.approx(0.2)
+
+    def test_calendar_high_water(self, sim):
+        for i in range(7):
+            sim.schedule(10 + i, lambda: None)
+        sim.run()
+        assert sim.calendar_high_water == 7
+
+    def test_churn_stays_compact(self, sim):
+        """The preempt/reschedule pattern must not grow the heap."""
+        decoy = [None]
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if decoy[0] is not None:
+                decoy[0].cancel()
+            decoy[0] = sim.schedule(10**9, lambda: None)
+            if count[0] < 5000:
+                sim.schedule(10, tick)
+
+        sim.schedule(10, tick)
+        sim.run(until_ns=5000 * 10 + 1)
+        assert count[0] == 5000
+        assert sim.calendar_depth() < 200  # not ~5000 dead entries
