@@ -9,7 +9,7 @@ SMOKE_CACHE := .smoke-cache
 
 .PHONY: test benchmarks bench-json perf-gate perf-baseline \
 	experiments experiments-smoke faults-smoke \
-	obs-smoke obs-overhead \
+	obs-smoke obs-overhead fleet-smoke docs-check \
 	verify-integrity golden-check golden-update verify clean
 
 test:
@@ -24,6 +24,7 @@ benchmarks:
 bench-json:
 	$(PYTHON) -m pytest benchmarks/test_simulator_perf.py \
 		benchmarks/test_fastforward.py \
+		benchmarks/test_fleet_scale.py \
 		--benchmark-only --benchmark-json=.bench-raw.json -q
 	$(PYTHON) -m repro.perfgate collect .bench-raw.json -o .bench-current.json
 
@@ -111,6 +112,37 @@ obs-smoke:
 obs-overhead:
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q
 
+# CI gate for the fleet layer: a reduced ext-fleet sweep end to end
+# through the runner — the manifest must carry the merged-sketch
+# provenance, the stats subcommand must render the fleet block, and the
+# fleet-report verb must produce the capacity plan.
+fleet-smoke:
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+	$(PYTHON) -m repro.experiments ext-fleet --jobs 1 \
+		--save $(SMOKE_OUT) --cache-dir $(SMOKE_CACHE) --checks-only
+	$(PYTHON) -c "\
+	from repro.core.serialize import load_json, manifest_from_dict; \
+	m = manifest_from_dict(load_json('$(SMOKE_OUT)/manifest.json')); \
+	assert m['failures'] == 0, m; \
+	(entry,) = m['experiments']; \
+	fleet = entry['fleet']; \
+	assert fleet['sessions'] > 0 and fleet['merged_digest'], fleet; \
+	assert fleet['merge'] == 'commutative-bucket-add', fleet; \
+	print('fleet manifest ok: %d sessions, digest %s' % \
+	      (fleet['sessions'], fleet['merged_digest']))"
+	$(PYTHON) -m repro.experiments stats $(SMOKE_OUT)/manifest.json \
+		| grep -q "merged wait-time sketches"
+	$(PYTHON) -m repro.experiments fleet-report $(SMOKE_OUT) \
+		| grep -q "capacity plan"
+	@echo "fleet smoke ok"
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+
+# CI gate for the documentation: every intra-repo markdown link must
+# resolve, every --flag a doc mentions must exist in some CLI parser,
+# and docs/index.md must cover every docs/ page.
+docs-check:
+	$(PYTHON) -m repro.docscheck
+
 # CI gate for measurement integrity: the invariant catalog must pass on
 # every OS personality under every named fault scenario, each seeded
 # trace corruption must trip exactly its matching invariant, and the
@@ -127,9 +159,10 @@ golden-update:
 	$(PYTHON) -m repro.verify.golden --update
 
 # The default local verification flow: unit tests, the
-# measurement-integrity gate, the observability gates, then the
-# perf-regression gate.
-verify: test verify-integrity obs-smoke obs-overhead perf-gate
+# measurement-integrity gate, the observability gates, the fleet and
+# docs gates, then the perf-regression gate.
+verify: test verify-integrity obs-smoke obs-overhead fleet-smoke \
+	docs-check perf-gate
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache

@@ -350,6 +350,19 @@ def _hard_shutdown(pool: ProcessPoolExecutor) -> None:
             pass
 
 
+def _job_executor(job_options: Optional[dict]):
+    """The callable a round runs for each spec.
+
+    Defaults to :func:`execute_job` (the experiment registry); the
+    fleet layer substitutes :func:`repro.fleet.shards.execute_fleet_batch`
+    via the ``executor`` job option to reuse this module's scheduling,
+    watchdog, retry and interrupt machinery for session batches.  Must
+    be a module-level function (pool workers unpickle it by reference)
+    with :func:`execute_job`'s exact signature.
+    """
+    return (job_options or {}).get("executor") or execute_job
+
+
 def _sequential_round(
     indexed_specs: List[Tuple[int, Tuple[str, int]]],
     cache: Optional[RunCache],
@@ -374,6 +387,12 @@ def _sequential_round(
     def _on_alarm(signum, frame):
         raise _JobTimeout()
 
+    executor = _job_executor(job_options)
+    options = {
+        key: value
+        for key, value in (job_options or {}).items()
+        if key != "executor"
+    }
     for index, (experiment_id, seed) in indexed_specs:
         previous = None
         if use_alarm:
@@ -381,12 +400,12 @@ def _sequential_round(
             signal.setitimer(signal.ITIMER_REAL, timeout_s)
         started = time.perf_counter()
         try:
-            job = execute_job(
+            job = executor(
                 experiment_id,
                 seed,
                 cache=cache,
                 refresh=refresh,
-                **(job_options or {}),
+                **options,
             )
         except _JobTimeout:
             job = JobResult(
@@ -428,13 +447,14 @@ def _pool_round(
     hung = False
     try:
         options = job_options or {}
+        executor = _job_executor(job_options)
         futures = []
         submitted_at: List[float] = []
         for _index, (experiment_id, seed) in indexed_specs:
             submitted_at.append(time.perf_counter())
             futures.append(
                 pool.submit(
-                    execute_job,
+                    executor,
                     experiment_id,
                     seed,
                     cache,
@@ -519,6 +539,7 @@ def run_specs(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    executor: Optional[Callable[..., JobResult]] = None,
 ) -> List[JobResult]:
     """Execute an explicit ``(experiment_id, seed)`` job list.
 
@@ -543,6 +564,12 @@ def run_specs(
     ``checkpoint_interval`` enable crash-safe unit checkpoints for
     experiments that take a ``checkpoint`` keyword — all documented on
     :func:`execute_job`.
+
+    ``executor`` substitutes a different module-level job function with
+    :func:`execute_job`'s signature (default: :func:`execute_job`).
+    This is how the fleet layer (:mod:`repro.fleet.shards`) schedules
+    session *batches* through the same work-stealing pool, watchdog,
+    retry and Ctrl-C machinery as experiment sweeps.
     """
     specs = list(specs)
     job_options = {
@@ -551,6 +578,7 @@ def run_specs(
         "checkpoint_interval": checkpoint_interval,
         "obs": obs,
         "fast_forward": fast_forward,
+        "executor": executor,
     }
     if jobs is None:
         jobs = os.cpu_count() or 1

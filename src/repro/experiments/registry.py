@@ -29,6 +29,7 @@ from . import (
     ablation_merge,
     ext_decompose,
     ext_faults,
+    ext_fleet,
     ext_network,
     ext_refresh,
     fig01_validation,
@@ -78,6 +79,7 @@ _MODULES = [
     ext_network,
     ext_decompose,
     ext_faults,
+    ext_fleet,
 ]
 
 #: id -> ``run(seed=...)`` callable, in the paper's presentation order.

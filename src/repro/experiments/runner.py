@@ -14,6 +14,8 @@
     repro-experiments run fig7 --trace-out t.json --metrics-out m.json
                                                  # Perfetto trace + metrics
     repro-experiments stats out/manifest.json    # telemetry from a sweep
+    repro-experiments fleet-report out/          # fleet percentiles and
+                                                 # capacity plan (ext-fleet)
 
 See ``docs/running-experiments.md`` for the full CLI reference and
 ``docs/observability.md`` for the trace/metrics outputs.
@@ -137,6 +139,13 @@ def _entry_from_job(job: JobResult, saved: Optional[str]) -> dict:
     data = (job.payload or {}).get("data") or {}
     if isinstance(data, dict) and "injected_faults" in data:
         entry["faults"] = data["injected_faults"]
+    # Surface fleet provenance (ext-fleet) the same way: the manifest
+    # records the merged-sketch digest and per-group percentiles, while
+    # the raw sketches stay in the archived payload.
+    if isinstance(data, dict) and "fleet" in data:
+        from ..fleet.report import manifest_fleet_summary
+
+        entry["fleet"] = manifest_fleet_summary(data["fleet"])
     # Payload invariants run on every completed job (they are cheap):
     # the manifest records what passed, and any violation in full.
     if job.payload is not None:
@@ -274,6 +283,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .stats import stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "fleet-report":
+        from ..fleet.report import fleet_report_main
+
+        return fleet_report_main(argv[1:])
     if argv and argv[0] == "run":
         # Optional verb: ``repro-experiments run fig7`` == ``repro-experiments
         # fig7`` (symmetry with the ``stats`` subcommand).

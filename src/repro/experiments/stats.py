@@ -4,8 +4,10 @@ A run manifest already records everything this subcommand shows (it is
 the repeatability record ``--save`` writes); ``stats`` is the human
 view: a per-job table of wall time, queue time and cache behaviour,
 sweep totals, and the merged metrics snapshot the ``obs`` section
-embeds.  Old manifests (written before the observability layer) render
-fine — the columns they lack show as ``-``.
+embeds.  Fleet sweeps (``ext-fleet``) additionally get their merged
+sketch summaries and shard utilization rendered.  Old manifests
+(written before the observability or fleet layers) render fine — the
+columns they lack show as ``-`` and the fleet block is simply absent.
 """
 
 from __future__ import annotations
@@ -116,6 +118,64 @@ def render_stats(manifest: dict) -> str:
             f"integrity: strict={'yes' if integrity.get('strict') else 'no'}, "
             f"{integrity.get('invariant_failures', 0)} invariant failure(s)"
         )
+
+    # Fleet sweeps (ext-fleet) record merged-sketch provenance in their
+    # manifest entry; render it when present.  Pre-fleet manifests have
+    # no such entries and skip this block entirely.
+    fleet_entries = [e for e in entries if e.get("fleet")]
+    for entry in fleet_entries:
+        fleet = entry["fleet"]
+        lines.append("")
+        lines.append(
+            "fleet {id} (seed {seed}): {sessions} session(s), {events} "
+            "event(s) in {batches} batch(es) on {shards} shard(s)".format(
+                id=entry["id"],
+                seed=entry["seed"],
+                sessions=fleet.get("sessions", "-"),
+                events=fleet.get("events", "-"),
+                batches=fleet.get("batches", "-"),
+                shards=fleet.get("shards", "-"),
+            )
+        )
+        utilization = fleet.get("shard_utilization")
+        lines.append(
+            "  merge {merge}, digest {digest}, population {seed}/{fp}".format(
+                merge=fleet.get("merge", "-"),
+                digest=fleet.get("merged_digest", "-"),
+                seed=fleet.get("population_seed", "-"),
+                fp=fleet.get("population_fingerprint", "-"),
+            )
+        )
+        lines.append(
+            "  batches from cache: {cache}, from checkpoint: {ckpt}; "
+            "shard utilization {util}; {failures} failed".format(
+                cache=fleet.get("batches_from_cache", 0),
+                ckpt=fleet.get("batches_from_checkpoint", 0),
+                util=(
+                    f"{float(utilization):.1%}"
+                    if utilization is not None
+                    else "-"
+                ),
+                failures=fleet.get("failures", 0),
+            )
+        )
+        groups = fleet.get("groups") or {}
+        if groups:
+            fleet_table = TextTable(
+                ["group", "sessions", "events", "p50 ms", "p95 ms", "p99.9 ms"],
+                title="  merged wait-time sketches",
+            )
+            for key in sorted(groups):
+                group = groups[key]
+                fleet_table.add_row(
+                    key,
+                    group.get("sessions", "-"),
+                    group.get("events", "-"),
+                    _seconds(group.get("p50_ms")),
+                    _seconds(group.get("p95_ms")),
+                    _seconds(group.get("p999_ms")),
+                )
+            lines.append(fleet_table.render())
 
     metrics = obs.get("metrics") or {}
     sections = [

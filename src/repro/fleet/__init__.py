@@ -1,0 +1,52 @@
+"""Population-scale session fleets with streaming latency aggregation.
+
+The paper's deliverable is a *distribution* of per-event wait times; a
+"million users" reproduction needs that distribution over a fleet of
+simulated sessions without ever materializing a fleet's worth of
+traces.  This package provides the three layers that make such sweeps
+affordable:
+
+* :mod:`repro.fleet.population` — a seeded generator of per-session
+  parameters (typist speed, app profile, think-time, OS personality,
+  fault scenario), deterministic per session index and independent of
+  how sessions are batched or scheduled;
+* :mod:`repro.fleet.sketch` — deterministically mergeable streaming
+  percentile sketches (:class:`~repro.fleet.sketch.QuantileSketch`) and
+  per-stage fixed-bucket histograms
+  (:class:`~repro.fleet.sketch.StageHistogram`), so aggregate state is
+  O(sketch size), never O(sessions);
+* :mod:`repro.fleet.shards` — a work-stealing shard scheduler layered
+  on :func:`repro.experiments.parallel.run_specs` (idle shards pull the
+  next session batch from the shared pending deque), reusing the
+  existing result cache, checkpointing, retry/timeout hardening and
+  observability metrics.
+
+:mod:`repro.fleet.report` renders fleet-level p50/p95/p99.9 tables and
+the capacity-planning output (``p95 -> max concurrent sessions under a
+latency budget``); the ``ext-fleet`` experiment and the
+``repro-experiments fleet-report`` verb are the user-facing surfaces.
+See ``docs/fleet-scale.md``.
+"""
+
+from .population import PopulationConfig, SessionPopulation, SessionSpec
+from .report import capacity_plan, fleet_data, render_fleet_report
+from .session import SessionResult, run_session
+from .shards import FleetResult, execute_fleet_batch, run_fleet
+from .sketch import FleetAggregator, QuantileSketch, StageHistogram
+
+__all__ = [
+    "FleetAggregator",
+    "FleetResult",
+    "PopulationConfig",
+    "QuantileSketch",
+    "SessionPopulation",
+    "SessionResult",
+    "SessionSpec",
+    "StageHistogram",
+    "capacity_plan",
+    "execute_fleet_batch",
+    "fleet_data",
+    "render_fleet_report",
+    "run_fleet",
+    "run_session",
+]

@@ -1,0 +1,444 @@
+"""Work-stealing shard execution of session batches.
+
+A fleet run is a bag of independent *batches* (contiguous session-index
+ranges).  Batches are submitted to
+:func:`repro.experiments.parallel.run_specs` — the same scheduler,
+watchdog, retry and Ctrl-C machinery experiment sweeps use — with
+:func:`execute_fleet_batch` as the job executor.  Work stealing falls
+out of the pool structure: every idle shard (worker process) pulls the
+next unclaimed batch from the shared pending deque, so a shard stuck
+behind a slow batch never idles the others.
+
+Reused infrastructure, not bypassed:
+
+* **Result cache** — each batch aggregate is cached under
+  ``(batch id, population seed, code version, population fingerprint)``
+  via :class:`repro.core.runcache.RunCache`, so re-running a fleet (or
+  resuming a crashed one) recomputes only missing batches.
+* **Checkpointing** — with a
+  :class:`~repro.verify.checkpoint.Checkpointer` attached, every
+  completed batch's aggregate is snapshotted; a killed fleet resumes
+  batch-exactly.
+* **Retries / timeouts** — per-batch watchdog and transient-pool-retry
+  semantics are inherited from :func:`~repro.experiments.parallel.run_specs`
+  unchanged.
+* **Observability** — the fleet summarizes itself into the standard
+  :class:`~repro.obs.metrics.MetricsRegistry` shapes (sessions/batches
+  counters, batch wall-time histogram, shard-utilization gauge).
+
+Determinism contract: the merged aggregate — including its byte-level
+:meth:`~repro.fleet.sketch.FleetAggregator.digest` — is a function of
+``(population config, compression)`` alone.  Batch partition, shard
+count, steal interleaving and merge order can never change it, because
+session parameters are drawn per-index (:mod:`repro.fleet.population`)
+and sketch merges are exactly commutative and associative
+(:mod:`repro.fleet.sketch`).  ``tests/test_fleet_shards.py`` permutes
+all of them and compares digests.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.runcache import RunCache, code_version, variant_key
+from ..core.serialize import cache_entry_to_dict, experiment_to_dict
+from ..obs import MetricsRegistry
+from ..obs.logging import get_logger
+from .population import PopulationConfig, SessionPopulation
+from .session import run_session
+from .sketch import DEFAULT_COMPRESSION, FleetAggregator
+
+__all__ = [
+    "FleetResult",
+    "batch_job_id",
+    "execute_fleet_batch",
+    "run_fleet",
+]
+
+log = get_logger("repro.fleet")
+
+_BATCH_ID = re.compile(r"fleet:(\d+)-(\d+)")
+
+
+def batch_job_id(start: int, stop: int) -> str:
+    """The job id of the ``[start, stop)`` session batch."""
+    return f"fleet:{start}-{stop}"
+
+
+def _parse_batch_id(job_id: str) -> Tuple[int, int]:
+    match = _BATCH_ID.fullmatch(job_id)
+    if not match:
+        raise ValueError(f"not a fleet batch id: {job_id!r}")
+    start, stop = int(match.group(1)), int(match.group(2))
+    if stop <= start:
+        raise ValueError(f"empty fleet batch: {job_id!r}")
+    return start, stop
+
+
+def _batch_variant(config: PopulationConfig, compression: int) -> str:
+    return variant_key(
+        {"population": config.fingerprint(), "compression": compression}
+    )
+
+
+def execute_fleet_batch(
+    job_id: str,
+    seed: int,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+    run_kwargs: Optional[dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 1,
+    obs: Optional[dict] = None,
+    fast_forward: bool = True,
+):
+    """Pool entry point: run one session batch, streamingly aggregated.
+
+    Signature-compatible with
+    :func:`repro.experiments.parallel.execute_job` so the parallel
+    runner can schedule batches exactly like experiment jobs.
+    ``run_kwargs`` must carry ``{"population": <config dict>}`` (and
+    optionally ``"compression"``); ``seed`` must equal the population
+    seed — it is part of the cache key and asserted against the config.
+
+    The returned ``JobResult.payload["data"]`` holds the batch's
+    serialized :class:`~repro.fleet.sketch.FleetAggregator` — O(sketch)
+    bytes however many events the batch's sessions produced; no
+    per-event data survives the worker.
+    """
+    from ..experiments.common import ExperimentResult
+    from ..experiments.parallel import JobResult
+    from ..sim.engine import set_fast_forward_default
+
+    set_fast_forward_default(fast_forward)
+    started = time.perf_counter()
+    try:
+        start, stop = _parse_batch_id(job_id)
+        config = PopulationConfig.from_dict((run_kwargs or {})["population"])
+        compression = int(
+            (run_kwargs or {}).get("compression", DEFAULT_COMPRESSION)
+        )
+        if seed != config.seed:
+            raise ValueError(
+                f"batch seed {seed} disagrees with population seed {config.seed}"
+            )
+        variant = _batch_variant(config, compression)
+        want_obs = bool(obs and (obs.get("trace") or obs.get("metrics")))
+        if cache is not None and not refresh and not want_obs:
+            entry = cache.load(job_id, seed, variant)
+            if entry is not None:
+                return JobResult(
+                    experiment_id=job_id,
+                    seed=seed,
+                    wall_s=time.perf_counter() - started,
+                    started_monotonic=started,
+                    cache_hit=True,
+                    rendered=entry["rendered"],
+                    checks=entry["checks"],
+                    payload=entry["payload"],
+                )
+
+        session = None
+        if want_obs:
+            from ..obs import runtime as obs_runtime
+
+            session = obs_runtime.start_session(
+                trace=bool(obs.get("trace")), metrics=bool(obs.get("metrics"))
+            )
+        try:
+            population = SessionPopulation(config)
+            aggregator = FleetAggregator(compression)
+            faults = 0
+            for index in range(start, stop):
+                result = run_session(population.spec(index))
+                aggregator.add_session(result)
+                faults += result.faults_injected
+        finally:
+            if session is not None:
+                obs_runtime.stop_session()
+        wall = time.perf_counter() - started
+
+        result = ExperimentResult(
+            id=job_id,
+            title=f"fleet batch [{start}, {stop}) of population {config.seed}",
+        )
+        result.data = {
+            "aggregate": aggregator.to_dict(),
+            "digest": aggregator.digest(),
+            "sessions": stop - start,
+            "faults_injected": faults,
+        }
+        trace_dict = None
+        metrics_snapshot = None
+        if session is not None:
+            if session.tracer is not None:
+                from ..obs.perfetto import chrome_trace
+
+                trace_dict = chrome_trace(session.tracer, label=job_id)
+            metrics_snapshot = session.metrics_snapshot()
+        if cache is not None:
+            cache.store(
+                cache_entry_to_dict(
+                    result,
+                    seed=seed,
+                    wall_s=wall,
+                    code_version=cache.version,
+                    variant=variant,
+                )
+            )
+        return JobResult(
+            experiment_id=job_id,
+            seed=seed,
+            wall_s=wall,
+            started_monotonic=started,
+            cache_hit=False,
+            rendered=result.render(),
+            checks=[],
+            payload=experiment_to_dict(result),
+            trace=trace_dict,
+            metrics=metrics_snapshot,
+        )
+    except Exception:
+        log.warning(f"fleet batch {job_id} raised; returning error result")
+        return JobResult(
+            experiment_id=job_id,
+            seed=seed,
+            wall_s=time.perf_counter() - started,
+            started_monotonic=started,
+            error=traceback.format_exc(),
+            failure_kind="error",
+        )
+
+
+@dataclass
+class FleetResult:
+    """A completed fleet sweep: merged aggregate plus scheduling record."""
+
+    aggregate: FleetAggregator
+    config: PopulationConfig
+    shards: int
+    batch_size: int
+    makespan_s: float
+    #: Per-batch scheduling stats (id, wall_s, queue_s, cache/source).
+    batches: List[dict] = field(default_factory=list)
+    #: Batch ids that failed (error/timeout) — empty on a clean run.
+    failures: List[dict] = field(default_factory=list)
+    #: Merged metrics snapshot (fleet scheduling self-observation).
+    metrics: Optional[dict] = None
+
+    @property
+    def digest(self) -> str:
+        return self.aggregate.digest()
+
+    def provenance(self) -> dict:
+        """The sketch-merge provenance record manifests embed."""
+        cached = sum(1 for b in self.batches if b["source"] == "cache")
+        return {
+            "population_seed": self.config.seed,
+            "population_fingerprint": self.config.fingerprint(),
+            "sessions": self.aggregate.sessions,
+            "events": self.aggregate.events,
+            "compression": self.aggregate.compression,
+            "shards": self.shards,
+            "batch_size": self.batch_size,
+            "batches": len(self.batches),
+            "batches_from_cache": cached,
+            "batches_from_checkpoint": sum(
+                1 for b in self.batches if b["source"] == "checkpoint"
+            ),
+            "merge": "commutative-bucket-add",
+            "merged_digest": self.digest,
+            "code_version": code_version(),
+        }
+
+    def shard_utilization(self) -> float:
+        """sum(batch wall) / (shards * makespan), 0..1."""
+        if not self.batches or self.makespan_s <= 0 or self.shards <= 0:
+            return 0.0
+        busy = sum(float(b["wall_s"]) for b in self.batches)
+        return min(1.0, busy / (self.shards * self.makespan_s))
+
+
+def _fleet_metrics(result: FleetResult) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    sessions = registry.counter(
+        "repro_fleet_sessions_total", "Fleet sessions aggregated."
+    )
+    sessions.inc(result.aggregate.sessions)
+    events = registry.counter(
+        "repro_fleet_events_total", "Per-event latencies folded into sketches."
+    )
+    events.inc(result.aggregate.events)
+    batches = registry.counter(
+        "repro_fleet_batches_total", "Fleet batches by source."
+    )
+    wall = registry.histogram(
+        "repro_fleet_batch_wall_seconds", "Per-batch wall time."
+    )
+    for batch in result.batches:
+        batches.inc(source=batch["source"])
+        wall.observe(float(batch["wall_s"]))
+    for failure in result.failures:
+        batches.inc(source=failure.get("failure_kind") or "error")
+    registry.gauge(
+        "repro_fleet_shards", "Worker shards used for the fleet sweep."
+    ).set(result.shards)
+    registry.gauge(
+        "repro_fleet_makespan_seconds", "Wall time of the fleet sweep."
+    ).set(result.makespan_s)
+    registry.gauge(
+        "repro_fleet_shard_utilization",
+        "sum(batch wall) / (shards * makespan), 0..1.",
+    ).set(result.shard_utilization())
+    return registry
+
+
+def run_fleet(
+    config: PopulationConfig,
+    *,
+    shards: Optional[int] = None,
+    batch_size: int = 50,
+    compression: int = DEFAULT_COMPRESSION,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 1.0,
+    checkpoint=None,
+    batch_order: Optional[Sequence[int]] = None,
+    on_batch: Optional[Callable[[dict], None]] = None,
+) -> FleetResult:
+    """Run a whole population and return its merged aggregate.
+
+    ``shards`` is the worker count (default CPU count, clamped to the
+    batch count; 1 runs in-process).  ``batch_order`` reorders batch
+    *submission* — a test hook standing in for adversarial steal
+    interleavings; the merged digest is identical for every permutation.
+    ``checkpoint`` is an optional
+    :class:`~repro.verify.checkpoint.Checkpointer`: completed batch
+    aggregates are recorded as they finish and restored — not re-run —
+    on resume.
+
+    Aggregation is streaming: each batch's sketch state is folded into
+    the running merge as its result arrives and the payload is dropped,
+    so peak memory is O(shards x sketch size + batches), independent of
+    session (and event) count.
+    """
+    from ..experiments.parallel import run_specs
+
+    population = SessionPopulation(config)
+    batches = population.batches(batch_size)
+    order = list(range(len(batches)))
+    if batch_order is not None:
+        if sorted(batch_order) != order:
+            raise ValueError(
+                f"batch_order must permute range({len(batches)}): {batch_order!r}"
+            )
+        order = list(batch_order)
+
+    aggregator = FleetAggregator(compression)
+    batch_stats: List[dict] = []
+    failures: List[dict] = []
+
+    # Batches already in the checkpoint are restored, not re-run.  Keys
+    # are namespaced by population fingerprint so a checkpoint directory
+    # shared between fleets (e.g. a main sweep and its cross-check
+    # sub-populations) can never hand a batch to the wrong population.
+    fingerprint = config.fingerprint()
+    to_run: List[Tuple[str, int]] = []
+    for index in order:
+        start, stop = batches[index]
+        job_id = batch_job_id(start, stop)
+        snapshot = (
+            checkpoint.get(f"{fingerprint}:{job_id}")
+            if checkpoint is not None
+            else None
+        )
+        if snapshot is not None:
+            aggregator.merge(FleetAggregator.from_dict(snapshot))
+            batch_stats.append(
+                {
+                    "id": job_id,
+                    "wall_s": 0.0,
+                    "queue_s": 0.0,
+                    "sessions": stop - start,
+                    "source": "checkpoint",
+                }
+            )
+        else:
+            to_run.append((job_id, config.seed))
+
+    def fold(job) -> None:
+        if job.error is not None:
+            failures.append(
+                {
+                    "id": job.experiment_id,
+                    "failure_kind": job.failure_kind,
+                    "error": job.error,
+                }
+            )
+            return
+        data = (job.payload or {}).get("data") or {}
+        batch_aggregate = FleetAggregator.from_dict(data["aggregate"])
+        aggregator.merge(batch_aggregate)
+        if checkpoint is not None:
+            checkpoint.record(
+                f"{fingerprint}:{job.experiment_id}", data["aggregate"]
+            )
+        stat = {
+            "id": job.experiment_id,
+            "wall_s": job.wall_s,
+            "queue_s": job.queue_s,
+            "sessions": data.get("sessions", 0),
+            "source": "cache" if job.cache_hit else "run",
+        }
+        batch_stats.append(stat)
+        if on_batch is not None:
+            on_batch(stat)
+        # Streaming: the merged sketch owns the state now.
+        job.payload = None
+        job.rendered = ""
+
+    import os as _os
+
+    shard_count = shards if shards is not None else (_os.cpu_count() or 1)
+    shard_count = max(1, min(shard_count, len(to_run) or 1))
+    started = time.perf_counter()
+    run_specs(
+        to_run,
+        jobs=shard_count,
+        cache=cache,
+        refresh=refresh,
+        on_result=fold,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        run_kwargs={
+            "population": config.to_dict(),
+            "compression": compression,
+        },
+        executor=execute_fleet_batch,
+    )
+    makespan_s = time.perf_counter() - started
+    if checkpoint is not None:
+        checkpoint.flush()
+
+    fleet = FleetResult(
+        aggregate=aggregator,
+        config=config,
+        shards=shard_count,
+        batch_size=batch_size,
+        makespan_s=makespan_s,
+        batches=batch_stats,
+        failures=failures,
+    )
+    fleet.metrics = _fleet_metrics(fleet).snapshot()
+    if failures:
+        log.warning(
+            f"fleet sweep finished with {len(failures)} failed batch(es)"
+        )
+    return fleet

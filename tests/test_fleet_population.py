@@ -1,0 +1,134 @@
+"""Tests for seeded session-population generation.
+
+The property everything else leans on: session ``i``'s spec is a pure
+function of ``(population seed, i)`` — access order, batching and
+partitioning can never perturb a draw.
+"""
+
+import pytest
+
+from repro.fleet.population import (
+    APP_PROFILES,
+    PopulationConfig,
+    SessionPopulation,
+)
+
+
+def test_spec_deterministic_across_instances():
+    config = PopulationConfig(seed=7, size=50)
+    a = SessionPopulation(config)
+    b = SessionPopulation(config)
+    for index in range(50):
+        assert a.spec(index) == b.spec(index)
+
+
+def test_spec_independent_of_access_order():
+    config = PopulationConfig(seed=3, size=20)
+    forward = [SessionPopulation(config).spec(i) for i in range(20)]
+    population = SessionPopulation(config)
+    backward = [population.spec(i) for i in reversed(range(20))]
+    assert forward == list(reversed(backward))
+
+
+def test_spec_fields_within_configured_ranges():
+    config = PopulationConfig(seed=0, size=200)
+    population = SessionPopulation(config)
+    for spec in population:
+        assert spec.os_name in config.os_mix
+        assert spec.profile in APP_PROFILES
+        assert spec.scenario in (None, "smoke")
+        assert config.wpm_range[0] <= spec.wpm <= config.wpm_range[1]
+        assert config.jitter_range[0] <= spec.jitter <= config.jitter_range[1]
+        assert (
+            config.think_mean_range_s[0]
+            <= spec.think_mean_s
+            <= config.think_mean_range_s[1]
+        )
+        assert config.chars_range[0] <= spec.chars <= config.chars_range[1]
+        assert spec.seed >= 0
+
+
+def test_every_mix_component_appears():
+    population = SessionPopulation(PopulationConfig(seed=0, size=400))
+    specs = list(population)
+    assert {s.os_name for s in specs} == set(population.config.os_mix)
+    assert {s.profile for s in specs} == set(population.config.profile_mix)
+    # The empty-string scenario weight materializes as None (healthy).
+    assert {s.scenario for s in specs} == {None, "smoke"}
+
+
+def test_session_seeds_are_distinct():
+    population = SessionPopulation(PopulationConfig(seed=0, size=300))
+    seeds = [population.spec(i).seed for i in range(300)]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_different_population_seeds_differ():
+    a = SessionPopulation(PopulationConfig(seed=0, size=30))
+    b = SessionPopulation(PopulationConfig(seed=1, size=30))
+    assert any(a.spec(i) != b.spec(i) for i in range(30))
+
+
+def test_index_bounds_enforced():
+    population = SessionPopulation(PopulationConfig(seed=0, size=5))
+    with pytest.raises(IndexError):
+        population.spec(-1)
+    with pytest.raises(IndexError):
+        population.spec(5)
+    assert population[4].index == 4
+    assert len(population) == 5
+
+
+def test_batches_partition_the_population():
+    population = SessionPopulation(PopulationConfig(seed=0, size=23))
+    for batch_size in (1, 5, 7, 23, 100):
+        batches = population.batches(batch_size)
+        covered = [i for start, stop in batches for i in range(start, stop)]
+        assert covered == list(range(23))
+    with pytest.raises(ValueError):
+        population.batches(0)
+
+
+def test_fingerprint_identifies_population():
+    base = PopulationConfig(seed=0, size=100)
+    assert base.fingerprint() == PopulationConfig(seed=0, size=100).fingerprint()
+    assert base.fingerprint() != PopulationConfig(seed=1, size=100).fingerprint()
+    assert base.fingerprint() != PopulationConfig(seed=0, size=101).fingerprint()
+    assert (
+        base.fingerprint()
+        != PopulationConfig(seed=0, size=100, wpm_range=(30.0, 90.0)).fingerprint()
+    )
+
+
+def test_config_round_trip():
+    config = PopulationConfig(seed=9, size=77, chars_range=(4, 8))
+    clone = PopulationConfig.from_dict(config.to_dict())
+    assert clone.fingerprint() == config.fingerprint()
+    assert clone.seed == 9 and clone.size == 77
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PopulationConfig(size=0)
+    with pytest.raises(ValueError, match="profile"):
+        PopulationConfig(profile_mix={"spreadsheet": 1.0})
+    with pytest.raises(ValueError, match="scenario"):
+        PopulationConfig(scenario_mix={"no-such-scenario": 1.0})
+    with pytest.raises(ValueError):
+        PopulationConfig(os_mix={})
+    with pytest.raises(ValueError):
+        PopulationConfig(os_mix={"nt40": -1.0, "win95": 0.5})
+    with pytest.raises(ValueError):
+        PopulationConfig(wpm_range=(90.0, 25.0))
+    with pytest.raises(ValueError, match="fleet-population"):
+        PopulationConfig.from_dict({"kind": "other"})
+
+
+def test_spec_to_dict_is_plain():
+    spec = SessionPopulation(PopulationConfig(seed=0, size=1)).spec(0)
+    data = spec.to_dict()
+    assert data["index"] == 0
+    assert set(data) == {
+        "index", "seed", "os", "profile", "scenario",
+        "wpm", "jitter", "think_mean_s", "chars",
+    }
