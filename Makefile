@@ -9,8 +9,8 @@ SMOKE_CACHE := .smoke-cache
 
 .PHONY: test benchmarks bench-json perf-gate perf-baseline \
 	experiments experiments-smoke faults-smoke \
-	obs-smoke obs-overhead fleet-smoke docs-check \
-	verify-integrity golden-check golden-update verify clean
+	obs-smoke obs-overhead fleet-smoke chaos-smoke chaos-stress \
+	docs-check verify-integrity golden-check golden-update verify clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -137,6 +137,48 @@ fleet-smoke:
 	@echo "fleet smoke ok"
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
 
+# CI gate for the chaos-hardening layer: a healable chaos schedule must
+# heal to the byte-identical fleet digest of the chaos-free run; an
+# unhealable (poison) schedule must account every lost session exactly
+# (expected == completed + quarantined + skipped) with the digest
+# stamped partial; and --strict-complete must turn the partial run into
+# the reserved exit code 4.
+chaos-smoke:
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+	$(PYTHON) -c "\
+	from repro.obs.logging import set_level; set_level('error'); \
+	from repro.fleet.population import PopulationConfig; \
+	from repro.fleet.shards import run_fleet; \
+	config = PopulationConfig(seed=7, size=24, chars_range=(4, 6)); \
+	clean = run_fleet(config, shards=2, batch_size=6); \
+	healed = run_fleet(config, shards=2, batch_size=6, retries=2, \
+	                   backoff_s=0.0, chaos='flaky-crash', chaos_seed=3); \
+	assert healed.digest == clean.digest, (healed.digest, clean.digest); \
+	assert healed.complete and not healed.failures, healed.provenance(); \
+	lossy = run_fleet(config, shards=2, batch_size=6, \
+	                  chaos='poison-sessions', chaos_seed=3); \
+	accounted = lossy.sessions_completed + lossy.sessions_quarantined \
+	            + lossy.sessions_skipped; \
+	assert accounted == lossy.sessions_expected, lossy.provenance(); \
+	assert lossy.sessions_quarantined > 0, lossy.provenance(); \
+	assert lossy.digest_scope == 'partial', lossy.provenance(); \
+	print('chaos smoke ok: healed digest %s == clean; %d/%d accounted, %d quarantined' \
+	      % (healed.digest, accounted, lossy.sessions_expected, \
+	         lossy.sessions_quarantined))"
+	$(PYTHON) -m repro.experiments ext-fleet --jobs 1 \
+		--chaos poison-sessions --strict-complete \
+		--save $(SMOKE_OUT) --cache-dir $(SMOKE_CACHE) --checks-only \
+		> /dev/null 2>&1; \
+	status=$$?; test $$status -eq 4 \
+		|| { echo "expected exit 4 (incomplete fleet), got $$status"; exit 1; }
+	@echo "chaos exit-code ok: --strict-complete returned 4 on a partial fleet"
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+
+# Heavier, not in verify: every chaos scenario x several seeds (seed
+# base randomized but printed, so failures replay from the log line).
+chaos-stress:
+	$(PYTHON) -m repro.chaos.stress --rounds 3
+
 # CI gate for the documentation: every intra-repo markdown link must
 # resolve, every --flag a doc mentions must exist in some CLI parser,
 # and docs/index.md must cover every docs/ page.
@@ -162,7 +204,7 @@ golden-update:
 # measurement-integrity gate, the observability gates, the fleet and
 # docs gates, then the perf-regression gate.
 verify: test verify-integrity obs-smoke obs-overhead fleet-smoke \
-	docs-check perf-gate
+	chaos-smoke docs-check perf-gate
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache

@@ -1,0 +1,68 @@
+"""Deterministic harness-level chaos: fault injection for the *runner*.
+
+The :mod:`repro.faults` package perturbs the **simulated machine** —
+disk stalls, IRQ storms, scheduler jitter — *inside* the measurement,
+changing what latency the paper's instruments observe.  This package is
+its mirror image one layer up: it perturbs the **harness** — worker
+crashes, hangs past the watchdog, corrupted artifact bytes, full disks,
+straggling workers, poisoned inputs — and the contract is exactly
+opposite: harness chaos must *never* change a measurement.  Either the
+recovery machinery (retries, hedging, quarantine) heals the schedule
+and every digest is byte-identical to the chaos-free run, or the loss
+is accounted session-exactly — ``expected == completed + quarantined +
+skipped`` — and stamped partial.  Silence is the only forbidden
+outcome.
+
+Layout mirrors :mod:`repro.faults`:
+
+* :mod:`~repro.chaos.plan` — :class:`ChaosSpec`/:class:`ChaosPlan`,
+  pure-data descriptions of a failure schedule (JSON-round-trippable,
+  value-hashable).
+* :mod:`~repro.chaos.scenarios` — named plans (``flaky-crash``,
+  ``stragglers``, ``torn-cache`` …) for ``--chaos NAME``.
+* :mod:`~repro.chaos.engine` — the seeded :class:`ChaosEngine` and the
+  :func:`chaos_harness` context workers enter; all randomness comes
+  from sha256-derived streams keyed per ``(job, attempt)`` so any
+  failure schedule replays exactly.
+* :mod:`~repro.chaos.breaker` — the per-group :class:`CircuitBreaker`
+  that converts repeated deterministic failures into explicit
+  ``skipped`` accounting instead of burned retries.
+"""
+
+from .breaker import CircuitBreaker
+from .engine import (
+    CRASH_EXIT_CODE,
+    HEDGE_ATTEMPT_BASE,
+    RECOVERY_ATTEMPT_BASE,
+    ChaosCrash,
+    ChaosEngine,
+    ChaosPoison,
+    chaos_harness,
+    chaos_payload,
+)
+from .plan import CHAOS_KINDS, ChaosPlan, ChaosSpec
+from .scenarios import (
+    HEALABLE_SCENARIOS,
+    chaos_scenario_names,
+    chaos_scenarios,
+    get_chaos_scenario,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "CRASH_EXIT_CODE",
+    "HEDGE_ATTEMPT_BASE",
+    "RECOVERY_ATTEMPT_BASE",
+    "ChaosCrash",
+    "ChaosEngine",
+    "ChaosPlan",
+    "ChaosPoison",
+    "ChaosSpec",
+    "CircuitBreaker",
+    "HEALABLE_SCENARIOS",
+    "chaos_harness",
+    "chaos_payload",
+    "chaos_scenario_names",
+    "chaos_scenarios",
+    "get_chaos_scenario",
+]

@@ -1,0 +1,75 @@
+"""Per-group circuit breaker for quarantine accounting.
+
+When a fleet's quarantine layer bisects failing batches down to
+sessions, a *systemic* failure — every ``win95`` session under the
+``smoke`` scenario dies, say — would burn a re-run per session to learn
+the same fact N times.  The breaker caps that: after ``threshold``
+confirmed failures in one ``(os, scenario)`` group, further sessions of
+that group are not re-run at all; they are recorded as ``skipped``,
+which keeps the completeness identity ``expected == completed +
+quarantined + skipped`` exact while bounding recovery work.
+
+Skipped-by-breaker is deliberately a *different* bucket from
+quarantined: quarantine means "tried at session granularity and failed"
+(a confirmed poison set, pinned in provenance); skipped means "not
+attempted, because its group's breaker was open" — a coverage decision,
+not a diagnosis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Count failures per group key; open after ``threshold`` of them.
+
+    Keys are opaque strings (the fleet uses ``"{os}/{scenario}"``).
+    A ``threshold`` of ``0`` disables the breaker: every failure is
+    investigated individually, nothing is skipped.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = int(threshold)
+        self.failures: Dict[str, int] = {}
+        self.skips: Dict[str, int] = {}
+
+    def record(self, key: str) -> int:
+        """Record one confirmed failure in ``key``; returns the count."""
+        self.failures[key] = self.failures.get(key, 0) + 1
+        return self.failures[key]
+
+    def allow(self, key: str) -> bool:
+        """Whether work in ``key`` should still be attempted."""
+        if self.threshold == 0:
+            return True
+        return self.failures.get(key, 0) < self.threshold
+
+    def skip(self, key: str) -> int:
+        """Record one unit skipped because ``key``'s circuit is open."""
+        self.skips[key] = self.skips.get(key, 0) + 1
+        return self.skips[key]
+
+    @property
+    def tripped(self) -> Dict[str, int]:
+        """Open groups and their failure counts."""
+        if self.threshold == 0:
+            return {}
+        return {
+            key: count
+            for key, count in sorted(self.failures.items())
+            if count >= self.threshold
+        }
+
+    def to_dict(self) -> dict:
+        """Provenance stamp for manifests/reports."""
+        return {
+            "threshold": self.threshold,
+            "failures": dict(sorted(self.failures.items())),
+            "skips": dict(sorted(self.skips.items())),
+            "tripped": sorted(self.tripped),
+        }

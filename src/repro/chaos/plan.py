@@ -1,0 +1,173 @@
+"""Chaos plans: declarative, serializable harness-failure schedules.
+
+A :class:`ChaosPlan` is a named list of :class:`ChaosSpec` entries —
+pure data, mirroring :class:`repro.faults.plan.FaultPlan` exactly: no
+RNG state, no process references, JSON-round-trippable, value-hashable.
+The *realization* of a plan — which ``(job, attempt)`` pairs actually
+crash, hang or corrupt — is drawn by
+:class:`repro.chaos.engine.ChaosEngine` from sha256-derived streams
+keyed by ``(chaos seed, spec name, job id, attempt)``, so the same
+``(seed, plan)`` replays the identical failure schedule on any machine,
+and adding a spec to a plan never perturbs the draws of existing specs.
+
+**Healability is encoded in the spec.**  ``max_attempt`` bounds the
+attempt window a fault fires in: a crash with ``max_attempt=1`` hits
+only each job's first attempt, so one retry heals it; a poison spec
+ignores attempts entirely (it keys on the session index) and is
+*unhealable by design* — the quarantine machinery must account for it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["CHAOS_KINDS", "ChaosSpec", "ChaosPlan"]
+
+#: The harness-failure modes, one per observable disaster class:
+CHAOS_KINDS = (
+    "crash",  # hard worker death (os._exit) before the job runs
+    "hang",  # sleep far past the watchdog (healable only by hedging/recovery)
+    "straggle",  # slow worker: delay, then a normal result
+    "corrupt-result",  # batch payload mangled in transit (digest mismatch)
+    "corrupt-write",  # artifact writes land torn (cache/checkpoint bytes)
+    "enospc",  # artifact writes fail with "no space left on device"
+    "poison",  # deterministic per-session failure (keys on session index)
+)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One failure source within a plan.
+
+    ``name`` keys the RNG stream (unique within a plan); ``kind`` picks
+    the injection mechanism; ``probability`` is the chance the fault
+    fires for a given ``(job, attempt)`` draw — or, for ``poison``, for
+    a given session index; ``max_attempt`` restricts firing to attempts
+    ``< max_attempt`` (``None`` = every attempt, including hedge and
+    recovery channels); ``params`` are kind-specific knobs (plain
+    numbers/strings only, so the spec stays JSON-round-trippable):
+
+    * ``hang``/``straggle``: ``seconds`` (sleep length; hang defaults
+      far past any sane watchdog, straggle to a short delay),
+    * ``corrupt-write``/``enospc``: ``scope`` — ``"cache"``,
+      ``"checkpoint"`` or ``"all"`` (which artifact writes are hit).
+    """
+
+    name: str
+    kind: str
+    probability: float = 1.0
+    max_attempt: Optional[int] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; expected one of {CHAOS_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_attempt is not None and self.max_attempt < 1:
+            raise ValueError(
+                f"max_attempt must be >= 1 or None, got {self.max_attempt}"
+            )
+
+    @staticmethod
+    def make(
+        name: str,
+        kind: str,
+        probability: float = 1.0,
+        max_attempt: Optional[int] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> "ChaosSpec":
+        """Build a spec from a plain mapping of params (sorted for value
+        equality and stable serialization)."""
+        items = tuple(sorted((params or {}).items()))
+        return ChaosSpec(
+            name=name,
+            kind=kind,
+            probability=probability,
+            max_attempt=max_attempt,
+            params=items,
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def param(self, key: str, default: object = None) -> object:
+        return self.param_dict.get(key, default)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "probability": self.probability,
+            "max_attempt": self.max_attempt,
+            "params": self.param_dict,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "ChaosSpec":
+        return ChaosSpec.make(
+            name=data["name"],
+            kind=data["kind"],
+            probability=data.get("probability", 1.0),
+            max_attempt=data.get("max_attempt"),
+            params=data.get("params") or {},
+        )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A named, ordered collection of chaos specs."""
+
+    name: str
+    specs: Tuple[ChaosSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.specs]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate spec names in chaos plan {self.name!r}: "
+                f"{sorted(duplicates)}"
+            )
+
+    def __iter__(self) -> Iterator[ChaosSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def kinds(self) -> List[str]:
+        """Kinds present in the plan, in spec order, deduplicated."""
+        seen: List[str] = []
+        for spec in self.specs:
+            if spec.kind not in seen:
+                seen.append(spec.kind)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "chaos-plan",
+            "name": self.name,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "ChaosPlan":
+        if data.get("kind") != "chaos-plan":
+            raise ValueError(f"not a chaos-plan payload: {data.get('kind')!r}")
+        return ChaosPlan(
+            name=data["name"],
+            specs=tuple(ChaosSpec.from_dict(entry) for entry in data["specs"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable textual identity of the plan (for manifests/labels)."""
+        return json.dumps(self.to_dict(), sort_keys=True)

@@ -1,0 +1,236 @@
+"""Named chaos scenarios: the ``--chaos NAME`` vocabulary.
+
+Each scenario is a :class:`~repro.chaos.plan.ChaosPlan` built fresh per
+call (plans are frozen, but callers may embed them in mutable payloads).
+They divide sharply by the acceptance bar they exercise:
+
+**Healable** — with retries, hedging and quarantine recovery enabled,
+the fleet digest must be *byte-identical* to the chaos-free run:
+
+* ``flaky-crash`` — workers die hard (``os._exit``) on ~60% of first
+  attempts; windowed to attempt 0, so one retry round heals every one.
+* ``stragglers`` — ~35% of jobs sleep before answering; results are
+  untouched, hedging just wins the race on the slow ones.
+* ``hung-batches`` — ~40% of first attempts hang past any watchdog;
+  healed by a hedge duplicate (pool) or a recovery re-run (the hang is
+  windowed off the healing channels).
+* ``corrupt-results`` — every first attempt's payload digest is
+  mangled in transit; the fold's digest verification catches it and
+  the recovery re-run returns clean bytes.
+* ``torn-cache`` / ``torn-checkpoint`` — artifact writes land torn
+  (truncated + garbage, *after* the rename); load-time validation
+  evicts/ignores them, so the only cost is a re-execution.
+* ``disk-full`` — every artifact write fails with ENOSPC; caches and
+  checkpoints degrade to misses, results are unaffected.
+* ``mayhem`` — crashes + stragglers + torn results + torn cache
+  writes at once, all windowed healable; the integration stress.
+
+**Unhealable** — recovery must *account*, never silently drop:
+
+* ``poison-sessions`` — ~6% of session indices fail deterministically
+  on every attempt; quarantine bisects each down to its index and pins
+  the set in provenance.
+* ``poison-epidemic`` — ~40% poisoned; trips the per-group circuit
+  breaker, so most loss lands in ``skipped``, exactly counted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .plan import ChaosPlan, ChaosSpec
+
+__all__ = [
+    "HEALABLE_SCENARIOS",
+    "chaos_scenarios",
+    "chaos_scenario_names",
+    "get_chaos_scenario",
+]
+
+
+def _flaky_crash() -> ChaosPlan:
+    return ChaosPlan(
+        "flaky-crash",
+        (
+            ChaosSpec.make(
+                "crash-on-first-attempt",
+                "crash",
+                probability=0.6,
+                max_attempt=1,
+            ),
+        ),
+    )
+
+
+def _stragglers() -> ChaosPlan:
+    return ChaosPlan(
+        "stragglers",
+        (
+            ChaosSpec.make(
+                "slow-workers",
+                "straggle",
+                probability=0.35,
+                params={"seconds": 0.4},
+            ),
+        ),
+    )
+
+
+def _hung_batches() -> ChaosPlan:
+    return ChaosPlan(
+        "hung-batches",
+        (
+            ChaosSpec.make(
+                "hang-on-first-attempt",
+                "hang",
+                probability=0.4,
+                max_attempt=1,
+                params={"seconds": 60.0},
+            ),
+        ),
+    )
+
+
+def _corrupt_results() -> ChaosPlan:
+    return ChaosPlan(
+        "corrupt-results",
+        (
+            ChaosSpec.make(
+                "torn-transport",
+                "corrupt-result",
+                probability=1.0,
+                max_attempt=1,
+            ),
+        ),
+    )
+
+
+def _torn_cache() -> ChaosPlan:
+    return ChaosPlan(
+        "torn-cache",
+        (
+            ChaosSpec.make(
+                "torn-cache-writes",
+                "corrupt-write",
+                probability=1.0,
+                params={"scope": "cache"},
+            ),
+        ),
+    )
+
+
+def _torn_checkpoint() -> ChaosPlan:
+    return ChaosPlan(
+        "torn-checkpoint",
+        (
+            ChaosSpec.make(
+                "torn-checkpoint-writes",
+                "corrupt-write",
+                probability=1.0,
+                params={"scope": "checkpoint"},
+            ),
+        ),
+    )
+
+
+def _disk_full() -> ChaosPlan:
+    return ChaosPlan(
+        "disk-full",
+        (
+            ChaosSpec.make(
+                "enospc-everywhere",
+                "enospc",
+                probability=1.0,
+                params={"scope": "all"},
+            ),
+        ),
+    )
+
+
+def _mayhem() -> ChaosPlan:
+    return ChaosPlan(
+        "mayhem",
+        (
+            ChaosSpec.make(
+                "crash-sometimes", "crash", probability=0.3, max_attempt=1
+            ),
+            ChaosSpec.make(
+                "straggle-sometimes",
+                "straggle",
+                probability=0.3,
+                params={"seconds": 0.3},
+            ),
+            ChaosSpec.make(
+                "corrupt-sometimes",
+                "corrupt-result",
+                probability=0.5,
+                max_attempt=1,
+            ),
+            ChaosSpec.make(
+                "torn-cache-sometimes",
+                "corrupt-write",
+                probability=0.5,
+                params={"scope": "cache"},
+            ),
+        ),
+    )
+
+
+def _poison_sessions() -> ChaosPlan:
+    return ChaosPlan(
+        "poison-sessions",
+        (ChaosSpec.make("poison-few", "poison", probability=0.06),),
+    )
+
+
+def _poison_epidemic() -> ChaosPlan:
+    return ChaosPlan(
+        "poison-epidemic",
+        (ChaosSpec.make("poison-many", "poison", probability=0.4),),
+    )
+
+
+_SCENARIOS = {
+    "flaky-crash": _flaky_crash,
+    "stragglers": _stragglers,
+    "hung-batches": _hung_batches,
+    "corrupt-results": _corrupt_results,
+    "torn-cache": _torn_cache,
+    "torn-checkpoint": _torn_checkpoint,
+    "disk-full": _disk_full,
+    "mayhem": _mayhem,
+    "poison-sessions": _poison_sessions,
+    "poison-epidemic": _poison_epidemic,
+}
+
+#: Scenarios the recovery layer provably heals (digest byte-identity);
+#: the rest require exact loss accounting instead.
+HEALABLE_SCENARIOS = (
+    "flaky-crash",
+    "stragglers",
+    "hung-batches",
+    "corrupt-results",
+    "torn-cache",
+    "torn-checkpoint",
+    "disk-full",
+    "mayhem",
+)
+
+
+def chaos_scenarios() -> Dict[str, ChaosPlan]:
+    """All named scenarios, freshly constructed."""
+    return {name: build() for name, build in _SCENARIOS.items()}
+
+
+def chaos_scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def get_chaos_scenario(name: str) -> ChaosPlan:
+    try:
+        return _SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; "
+            f"known: {', '.join(chaos_scenario_names())}"
+        ) from None

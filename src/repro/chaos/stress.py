@@ -1,0 +1,127 @@
+"""``make chaos-stress``: hammer the healable scenarios across seeds.
+
+Every healable chaos scenario, under a spread of chaos seeds, must heal
+to the byte-identical fleet digest of the chaos-free run; both poison
+scenarios must satisfy the accounting identity exactly.  The seed base
+is randomized by default but always printed, so any failure reproduces
+from the log line alone::
+
+    PYTHONPATH=src python -m repro.chaos.stress --seed-base 41 --rounds 2
+
+Exit status 0 means every ``(scenario, seed)`` cell passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+import tempfile
+import time
+
+from ..core.runcache import RunCache
+from ..fleet.population import PopulationConfig
+from ..fleet.shards import run_fleet
+from .scenarios import HEALABLE_SCENARIOS, chaos_scenario_names
+
+#: Scenarios whose faults only bite when artifact stores exist.
+_WANTS_CACHE = ("torn-cache", "torn-checkpoint", "disk-full", "mayhem")
+#: Scenarios that hang past the watchdog and need a short timeout.
+_WANTS_TIMEOUT = ("hung-batches",)
+
+
+def _check_cell(scenario: str, seed: int, config, clean, workdir) -> str:
+    kwargs = dict(shards=2, batch_size=6, retries=2, backoff_s=0.0)
+    if scenario in _WANTS_CACHE:
+        kwargs["cache"] = RunCache(f"{workdir}/{scenario}-{seed}")
+    if scenario in _WANTS_TIMEOUT:
+        kwargs["timeout_s"] = 1.5
+    fleet = run_fleet(config, chaos=scenario, chaos_seed=seed, **kwargs)
+    accounted = (
+        fleet.sessions_completed
+        + fleet.sessions_quarantined
+        + fleet.sessions_skipped
+    )
+    if accounted != fleet.sessions_expected:
+        return (
+            f"accounting broken: {accounted} != {fleet.sessions_expected} "
+            f"({fleet.provenance()})"
+        )
+    if scenario in HEALABLE_SCENARIOS:
+        if fleet.digest != clean.digest:
+            return f"digest drift: {fleet.digest} != clean {clean.digest}"
+        if not fleet.complete or fleet.failures:
+            return f"did not heal: {fleet.provenance()}"
+    return ""
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos.stress", description=__doc__
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="chaos seeds per scenario (default 3)",
+    )
+    parser.add_argument(
+        "--seed-base",
+        type=int,
+        default=None,
+        metavar="S",
+        help="first chaos seed (default: randomized, printed)",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=24,
+        metavar="N",
+        help="population size per run (default 24)",
+    )
+    args = parser.parse_args(argv)
+
+    # Quarantine chatter is the *expected* behaviour under poison
+    # schedules; keep the stress log to one line per cell.
+    from ..obs.logging import set_level
+
+    set_level("error")
+
+    seed_base = args.seed_base
+    if seed_base is None:
+        import os
+
+        seed_base = struct.unpack("<H", os.urandom(2))[0]
+    config = PopulationConfig(seed=7, size=args.size, chars_range=(4, 6))
+    clean = run_fleet(config, shards=2, batch_size=6)
+    print(
+        f"chaos stress: seed base {seed_base}, {args.rounds} round(s), "
+        f"clean digest {clean.digest}"
+    )
+
+    problems = []
+    with tempfile.TemporaryDirectory(prefix="chaos-stress-") as workdir:
+        for scenario in chaos_scenario_names():
+            for seed in range(seed_base, seed_base + args.rounds):
+                started = time.perf_counter()
+                problem = _check_cell(scenario, seed, config, clean, workdir)
+                verdict = problem or "ok"
+                print(
+                    f"  {scenario:<18} seed {seed:<6} "
+                    f"{time.perf_counter() - started:5.1f}s  {verdict}"
+                )
+                if problem:
+                    problems.append((scenario, seed, problem))
+    if problems:
+        print(f"chaos stress FAILED: {len(problems)} cell(s)")
+        for scenario, seed, problem in problems:
+            print(f"  --chaos {scenario} --chaos-seed {seed}: {problem}")
+        return 1
+    cells = len(chaos_scenario_names()) * args.rounds
+    print(f"chaos stress ok: {cells} cells, all healed or exactly accounted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,12 +33,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
 from typing import Mapping
 
+from .atomicio import atomic_write_json
 from .serialize import cache_entry_from_dict, load_json
 
 __all__ = ["RunCache", "code_version", "default_cache_dir", "variant_key"]
@@ -170,16 +170,7 @@ class RunCache:
         )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(json.dumps(entry, indent=2, sort_keys=True))
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_json(path, entry, indent=2)
         except OSError:
             return None
         return path

@@ -282,10 +282,16 @@ def _jsonable(value):
 
 
 def save_json(payload: dict, path: Union[str, Path]) -> Path:
-    """Write any of the payload dicts above to ``path``."""
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    """Write any of the payload dicts above to ``path``.
+
+    Atomic (temp + fsync + rename via :mod:`repro.core.atomicio`): a
+    sweep killed mid-manifest, or an archive write hit by disk-full,
+    can never leave a torn JSON file for ``--resume`` or the report
+    tooling to trip over.
+    """
+    from .atomicio import atomic_write_json
+
+    return atomic_write_json(Path(path), payload, indent=2)
 
 
 def load_json(path: Union[str, Path]) -> dict:

@@ -154,6 +154,7 @@ def harvest_cli_flags() -> Set[str]:
     """Union of ``--flags`` accepted by every CLI in the repo, read
     from their live ``--help`` output so renames surface immediately."""
     from .analyze import main as analyze_main
+    from .chaos.stress import main as chaos_stress_main
     from .experiments.runner import main as runner_main
     from .experiments.stats import stats_main
     from .fleet.report import fleet_report_main
@@ -166,6 +167,7 @@ def harvest_cli_flags() -> Set[str]:
         (stats_main, ()),
         (fleet_report_main, ()),
         (analyze_main, ()),
+        (chaos_stress_main, ()),
         (perfgate_main, ()),          # subcommand flags live one level down:
         (perfgate_main, ("collect",)),
         (perfgate_main, ("check",)),

@@ -108,7 +108,17 @@ def run(
     sub_sessions: int = 45,
     budget_hours: float = 1.0,
     checkpoint=None,
+    chaos: Optional[str] = None,
+    chaos_seed: int = 0,
+    hedge: bool = False,
 ) -> ExperimentResult:
+    """``chaos``/``chaos_seed``/``hedge`` harden the *main* sweep with
+    a named harness-fault scenario (see :mod:`repro.chaos`); both chaos
+    parameters enter the cache variant via the runner's kwarg
+    filtering, so chaotic and clean runs never serve each other's
+    cache entries.  The determinism cross-checks always run clean —
+    their digests are compared against an unbatched in-process fold
+    that no harness fault can reach."""
     result = ExperimentResult(id=ID, title=TITLE)
 
     # --- the fleet sweep itself -------------------------------------
@@ -119,6 +129,10 @@ def run(
         batch_size=batch_size,
         compression=compression,
         checkpoint=checkpoint,
+        chaos=chaos,
+        chaos_seed=chaos_seed,
+        retries=2 if chaos else 0,
+        hedge=hedge,
     )
     data = fleet_data(fleet)
     result.tables.append(wait_table(data))
@@ -195,10 +209,32 @@ def run(
     }
 
     # --- shape checks -----------------------------------------------
+    accounted = (
+        fleet.sessions_expected
+        == fleet.sessions_completed
+        + fleet.sessions_quarantined
+        + fleet.sessions_skipped
+    )
     result.check(
-        "every batch completed (no errors, timeouts or retry exhaustion)",
-        not fleet.failures,
-        f"{len(fleet.batches)} batches, {len(fleet.failures)} failed",
+        "session accounting is exact "
+        "(expected == completed + quarantined + skipped)",
+        accounted and not fleet.failures,
+        f"{fleet.sessions_expected} expected = "
+        f"{fleet.sessions_completed} completed + "
+        f"{fleet.sessions_quarantined} quarantined + "
+        f"{fleet.sessions_skipped} skipped; "
+        f"{len(fleet.failures)} unaccounted batch failure(s)",
+    )
+    from ..chaos import HEALABLE_SCENARIOS
+
+    expect_partial = bool(chaos) and chaos not in HEALABLE_SCENARIOS
+    result.check(
+        "fleet sweep is complete (chaos-free and healable-chaos runs "
+        "must heal to 100%)",
+        fleet.complete or expect_partial,
+        f"completeness {fleet.completeness:.1%}, "
+        f"digest scope {fleet.digest_scope}"
+        + (f", chaos {chaos!r}" if chaos else ""),
     )
     by_os: Dict[str, int] = {}
     by_os_events: Dict[str, int] = {}

@@ -31,16 +31,19 @@ pickles as a path + version string) as ``ProcessPoolExecutor`` requires.
 
 from __future__ import annotations
 
+import math
 import os
 import signal
 import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..chaos.engine import HEDGE_ATTEMPT_BASE, ChaosCrash, chaos_harness
 from ..core.runcache import RunCache, code_version, variant_key
 from ..core.serialize import cache_entry_to_dict, experiment_to_dict
 from ..verify.checkpoint import Checkpointer, checkpoint_path
@@ -60,8 +63,11 @@ __all__ = [
 #: retried), ``"timeout"`` — the watchdog expired while the job ran
 #: (treated as deterministic; not retried), ``"pool"`` — the worker or
 #: pool failed before the job could report (transient; retried),
-#: ``"interrupted"`` — the sweep was cancelled before the job finished.
-FAILURE_KINDS = ("error", "timeout", "pool", "interrupted")
+#: ``"corrupt"`` — the job reported, but its payload failed integrity
+#: verification (the fleet fold's digest check; healed by quarantine
+#: re-runs, not round retries), ``"interrupted"`` — the sweep was
+#: cancelled before the job finished.
+FAILURE_KINDS = ("error", "timeout", "pool", "corrupt", "interrupted")
 
 
 class _JobTimeout(BaseException):
@@ -104,6 +110,17 @@ class JobResult:
     error: Optional[str] = None
     failure_kind: Optional[str] = None
     attempts: int = 1
+    #: Per-attempt classification, oldest first: ``"ok"`` for a clean
+    #: round, otherwise the round's ``failure_kind``.  The last entry
+    #: always matches the job's final state, so manifests can show
+    #: *how* a job got here (e.g. ``["pool", "pool", "ok"]``).
+    attempt_history: List[str] = field(default_factory=list)
+    #: Speculative duplicates issued for this job by straggler hedging.
+    hedges: int = 0
+    #: Whether the delivered result came from a hedge duplicate rather
+    #: than the primary submission (first result wins by index, so this
+    #: is pure scheduling provenance — payloads are identical).
+    hedge_won: bool = False
     #: Wall-clock seconds between pool submission and worker pickup
     #: (0 for sequential runs); the manifest's queue-time breakdown.
     queue_s: float = 0.0
@@ -184,8 +201,18 @@ def execute_job(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    chaos: Optional[dict] = None,
 ) -> JobResult:
     """Run one job, consulting and feeding the cache.
+
+    ``chaos`` is the optional harness-fault descriptor
+    (:func:`repro.chaos.engine.chaos_payload`, stamped with this round's
+    attempt by the scheduler): the job executes inside
+    :func:`~repro.chaos.engine.chaos_harness`, which may crash or delay
+    this worker or sabotage its artifact writes — deterministically per
+    ``(job, attempt)``.  Chaos is deliberately *not* part of the cache
+    variant: a healed chaotic run is byte-identical to a clean one, so
+    either may serve the other's entries.
 
     Cache discipline: a valid entry for ``(id, seed, code_version,
     variant)`` is served directly unless ``refresh`` forces
@@ -215,6 +242,32 @@ def execute_job(
     the golden digests and ``tests/test_fastforward.py``), so either
     setting may serve the other's cached payload.
     """
+    with chaos_harness(chaos, f"{experiment_id}:{seed}"):
+        return _execute_job_inner(
+            experiment_id,
+            seed,
+            cache=cache,
+            refresh=refresh,
+            run_kwargs=run_kwargs,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
+            obs=obs,
+            fast_forward=fast_forward,
+        )
+
+
+def _execute_job_inner(
+    experiment_id: str,
+    seed: int,
+    cache: Optional[RunCache] = None,
+    refresh: bool = False,
+    run_kwargs: Optional[dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 1,
+    obs: Optional[dict] = None,
+    fast_forward: bool = True,
+) -> JobResult:
+    """:func:`execute_job` without the chaos harness (the real work)."""
     from ..sim.engine import set_fast_forward_default
 
     set_fast_forward_default(fast_forward)
@@ -391,13 +444,16 @@ def _sequential_round(
     options = {
         key: value
         for key, value in (job_options or {}).items()
-        if key != "executor"
+        if key != "executor" and not (key == "chaos" and value is None)
     }
     for index, (experiment_id, seed) in indexed_specs:
-        previous = None
+        previous_handler = None
+        previous_timer = (0.0, 0.0)
+        armed_at = 0.0
         if use_alarm:
-            previous = signal.signal(signal.SIGALRM, _on_alarm)
-            signal.setitimer(signal.ITIMER_REAL, timeout_s)
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout_s)
+            armed_at = time.monotonic()
         started = time.perf_counter()
         try:
             job = executor(
@@ -418,10 +474,36 @@ def _sequential_round(
                 ),
                 failure_kind="timeout",
             )
+        except ChaosCrash:
+            # Simulated hard worker death (chaos harness, sequential
+            # path): same classification a broken pool would get —
+            # transient, retryable.
+            job = JobResult(
+                experiment_id=experiment_id,
+                seed=seed,
+                wall_s=time.perf_counter() - started,
+                error=(
+                    f"chaos crash: {experiment_id} (seed {seed}) worker "
+                    f"died before reporting"
+                ),
+                failure_kind="pool",
+            )
         finally:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
-                signal.signal(signal.SIGALRM, previous)
+                signal.signal(signal.SIGALRM, previous_handler)
+                remaining, interval = previous_timer
+                if remaining > 0.0:
+                    # An outer ITIMER_REAL was pending when we armed
+                    # ours; re-arm it with whatever time it has left.
+                    # If it should already have fired, fire it almost
+                    # immediately (setitimer(0) would *disarm* it).
+                    elapsed = time.monotonic() - armed_at
+                    signal.setitimer(
+                        signal.ITIMER_REAL,
+                        max(remaining - elapsed, 1e-6),
+                        interval,
+                    )
         resolve(index, job)
 
 
@@ -452,20 +534,23 @@ def _pool_round(
         submitted_at: List[float] = []
         for _index, (experiment_id, seed) in indexed_specs:
             submitted_at.append(time.perf_counter())
-            futures.append(
-                pool.submit(
-                    executor,
-                    experiment_id,
-                    seed,
-                    cache,
-                    refresh,
-                    options.get("run_kwargs"),
-                    options.get("checkpoint_dir"),
-                    options.get("checkpoint_interval", 1),
-                    options.get("obs"),
-                    options.get("fast_forward", True),
-                )
-            )
+            args = [
+                executor,
+                experiment_id,
+                seed,
+                cache,
+                refresh,
+                options.get("run_kwargs"),
+                options.get("checkpoint_dir"),
+                options.get("checkpoint_interval", 1),
+                options.get("obs"),
+                options.get("fast_forward", True),
+            ]
+            if options.get("chaos") is not None:
+                # Appended only when active so substitute executors
+                # without a chaos parameter keep working.
+                args.append(options["chaos"])
+            futures.append(pool.submit(*args))
         for (index, (experiment_id, seed)), future, submit_stamp in zip(
             indexed_specs, futures, submitted_at
         ):
@@ -523,6 +608,232 @@ def _pool_round(
         pool.shutdown(wait=True)
 
 
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation; robust for small n)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(position, len(ordered) - 1)]
+
+
+def _hedged_pool_round(
+    indexed_specs: List[Tuple[int, Tuple[str, int]]],
+    jobs: int,
+    cache: Optional[RunCache],
+    refresh: bool,
+    timeout_s: Optional[float],
+    resolve: Callable[[int, JobResult], None],
+    job_options: Optional[dict],
+    hedge: dict,
+) -> None:
+    """A pool round with straggler hedging: first result wins by index.
+
+    Once ``min_completed`` jobs have finished, any job still
+    outstanding after ``factor`` x p95 of the completed wall times gets
+    one speculative duplicate submitted (at most one hedge per job).
+    Whichever submission reports first is the job's result; the loser
+    is cancelled, or terminated with the pool at round end if already
+    running.  Because jobs are deterministic, primary and hedge
+    payloads are identical — hedging can change wall-clock and
+    scheduling provenance (``hedge_won``), never results or digests.
+    Under chaos, hedge duplicates draw from the
+    :data:`~repro.chaos.engine.HEDGE_ATTEMPT_BASE` attempt channel, so
+    a fault windowed to early attempts provably cannot fire on the
+    hedge sent to heal it.
+
+    A job fails only when *all* its submissions are exhausted; the
+    per-future watchdog classifications (``"pool"`` for a never-started
+    submission, ``"timeout"`` for a hung one) are the same as the plain
+    pool round's.
+    """
+    factor = float(hedge.get("factor", 1.5))
+    min_completed = max(1, int(hedge.get("min_completed", 3)))
+    poll_s = float(hedge.get("poll_s", 0.05))
+    options = job_options or {}
+    executor = _job_executor(job_options)
+    base_chaos = options.get("chaos")
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    spec_by_index = {index: spec for index, spec in indexed_specs}
+    meta: dict = {}  # future -> (index, is_hedge, submit_stamp)
+    open_futures: dict = {index: set() for index, _ in indexed_specs}
+    provisional: dict = {}  # index -> failure JobResult awaiting siblings
+    hedge_counts: dict = {index: 0 for index, _ in indexed_specs}
+    unresolved = {index for index, _ in indexed_specs}
+    completed_elapsed: List[float] = []
+    hung = False
+
+    def submit(index: int, is_hedge: bool) -> None:
+        experiment_id, seed = spec_by_index[index]
+        chaos = base_chaos
+        if chaos is not None and is_hedge:
+            chaos = dict(
+                chaos,
+                attempt=HEDGE_ATTEMPT_BASE + int(chaos.get("attempt", 0)),
+            )
+        args = [
+            executor,
+            experiment_id,
+            seed,
+            cache,
+            refresh,
+            options.get("run_kwargs"),
+            options.get("checkpoint_dir"),
+            options.get("checkpoint_interval", 1),
+            options.get("obs"),
+            options.get("fast_forward", True),
+        ]
+        if chaos is not None:
+            args.append(chaos)
+        future = pool.submit(*args)
+        meta[future] = (index, is_hedge, time.perf_counter())
+        open_futures[index].add(future)
+
+    def settle(index: int, job: JobResult) -> None:
+        job.hedges = hedge_counts[index]
+        resolve(index, job)
+        unresolved.discard(index)
+        provisional.pop(index, None)
+        for loser in list(open_futures[index]):
+            loser.cancel()  # refused = running; terminated at round end
+
+    def fail(index: int, failure: JobResult) -> None:
+        if open_futures[index]:
+            provisional[index] = failure  # a sibling may still win
+        else:
+            settle(index, failure)
+
+    try:
+        for index, (experiment_id, seed) in indexed_specs:
+            try:
+                submit(index, False)
+            except Exception:
+                fail(
+                    index,
+                    JobResult(
+                        experiment_id=experiment_id,
+                        seed=seed,
+                        error=traceback.format_exc(),
+                        failure_kind="pool",
+                    ),
+                )
+        while unresolved:
+            outstanding = {
+                future
+                for index in unresolved
+                for future in open_futures[index]
+                if not future.done()
+            }
+            if not outstanding:
+                for index in sorted(unresolved):
+                    experiment_id, seed = spec_by_index[index]
+                    failure = provisional.get(index) or JobResult(
+                        experiment_id=experiment_id,
+                        seed=seed,
+                        error="hedged round: every submission was lost",
+                        failure_kind="pool",
+                    )
+                    settle(index, failure)
+                break
+            done, _ = futures_wait(
+                outstanding, timeout=poll_s, return_when=FIRST_COMPLETED
+            )
+            now = time.perf_counter()
+            for future in done:
+                index, is_hedge, stamp = meta[future]
+                open_futures[index].discard(future)
+                if index not in unresolved:
+                    continue
+                experiment_id, seed = spec_by_index[index]
+                try:
+                    job = future.result(0)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except (Exception, CancelledError):
+                    fail(
+                        index,
+                        JobResult(
+                            experiment_id=experiment_id,
+                            seed=seed,
+                            error=traceback.format_exc(),
+                            failure_kind="pool",
+                        ),
+                    )
+                    continue
+                if job.started_monotonic:
+                    job.queue_s = max(0.0, job.started_monotonic - stamp)
+                job.hedge_won = is_hedge
+                completed_elapsed.append(now - stamp)
+                settle(index, job)
+            if timeout_s is not None:
+                for index in sorted(unresolved):
+                    experiment_id, seed = spec_by_index[index]
+                    for future in list(open_futures[index]):
+                        _i, _h, stamp = meta[future]
+                        if future.done() or now - stamp <= timeout_s:
+                            continue
+                        open_futures[index].discard(future)
+                        if future.cancel():
+                            failure = JobResult(
+                                experiment_id=experiment_id,
+                                seed=seed,
+                                error=(
+                                    f"pool stall: {experiment_id} "
+                                    f"(seed {seed}) never started within "
+                                    f"{timeout_s:.1f}s (workers occupied)"
+                                ),
+                                failure_kind="pool",
+                            )
+                        else:
+                            hung = True
+                            failure = JobResult(
+                                experiment_id=experiment_id,
+                                seed=seed,
+                                wall_s=float(timeout_s),
+                                error=(
+                                    f"watchdog: {experiment_id} "
+                                    f"(seed {seed}) exceeded "
+                                    f"{timeout_s:.1f}s in a worker; "
+                                    f"worker terminated"
+                                ),
+                                failure_kind="timeout",
+                            )
+                        fail(index, failure)
+            if len(completed_elapsed) >= min_completed:
+                threshold = max(
+                    factor * _percentile(completed_elapsed, 0.95), 1e-3
+                )
+                for index in sorted(unresolved):
+                    if hedge_counts[index] or not open_futures[index]:
+                        continue
+                    oldest = min(
+                        meta[future][2] for future in open_futures[index]
+                    )
+                    if now - oldest <= threshold:
+                        continue
+                    try:
+                        submit(index, True)
+                        hedge_counts[index] += 1
+                    except Exception:
+                        # Pool broken mid-round; outstanding futures
+                        # will surface it, stop hedging into the wreck.
+                        hedge_counts[index] += 1
+    except BaseException:
+        _hard_shutdown(pool)
+        raise
+    leftovers = [
+        future
+        for futures_set in open_futures.values()
+        for future in futures_set
+        if not future.done() and not future.cancel()
+    ]
+    if hung or leftovers:
+        _hard_shutdown(pool)
+    else:
+        pool.shutdown(wait=True)
+
+
 def run_specs(
     specs: Sequence[Tuple[str, int]],
     *,
@@ -540,6 +851,8 @@ def run_specs(
     obs: Optional[dict] = None,
     fast_forward: bool = True,
     executor: Optional[Callable[..., JobResult]] = None,
+    chaos: Optional[dict] = None,
+    hedge: Optional[dict] = None,
 ) -> List[JobResult]:
     """Execute an explicit ``(experiment_id, seed)`` job list.
 
@@ -570,6 +883,16 @@ def run_specs(
     This is how the fleet layer (:mod:`repro.fleet.shards`) schedules
     session *batches* through the same work-stealing pool, watchdog,
     retry and Ctrl-C machinery as experiment sweeps.
+
+    ``chaos`` is a harness-fault descriptor
+    (:func:`repro.chaos.engine.chaos_payload`); each round stamps it
+    with its attempt number (plus the payload's ``attempt_base``) so
+    workers draw their fault schedule from the right ``(job, attempt)``
+    stream.  ``hedge`` (``{"factor": float, "min_completed": int}``)
+    enables straggler hedging on pool rounds: jobs outstanding past
+    ``factor`` x p95 of completed wall times get one speculative
+    duplicate, first result winning by index (see
+    :func:`_hedged_pool_round`); it is ignored when ``jobs == 1``.
     """
     specs = list(specs)
     job_options = {
@@ -586,6 +909,7 @@ def run_specs(
 
     results: List[Optional[JobResult]] = [None] * len(specs)
     final: List[bool] = [False] * len(specs)
+    history: List[List[str]] = [[] for _ in specs]
     delivered = 0
 
     def flush() -> None:
@@ -607,16 +931,38 @@ def run_specs(
             def resolve(index: int, job: JobResult, _attempt=attempt,
                         _retry_allowed=retry_allowed) -> None:
                 job.attempts = _attempt + 1
+                history[index].append(job.failure_kind or "ok")
+                job.attempt_history = list(history[index])
                 results[index] = job
                 final[index] = not (
                     job.failure_kind == "pool" and _retry_allowed
                 )
                 flush()
 
+            round_options = job_options
+            if chaos is not None:
+                round_options = dict(
+                    job_options,
+                    chaos=dict(
+                        chaos,
+                        attempt=int(chaos.get("attempt_base", 0)) + attempt,
+                    ),
+                )
             indexed = [(i, specs[i]) for i in pending]
             if jobs == 1:
                 _sequential_round(
-                    indexed, cache, refresh, timeout_s, resolve, job_options
+                    indexed, cache, refresh, timeout_s, resolve, round_options
+                )
+            elif hedge is not None:
+                _hedged_pool_round(
+                    indexed,
+                    min(jobs, len(indexed)),
+                    cache,
+                    refresh,
+                    timeout_s,
+                    resolve,
+                    round_options,
+                    hedge,
                 )
             else:
                 _pool_round(
@@ -626,7 +972,7 @@ def run_specs(
                     refresh,
                     timeout_s,
                     resolve,
-                    job_options,
+                    round_options,
                 )
     except KeyboardInterrupt:
         snapshot: List[JobResult] = []
@@ -662,6 +1008,8 @@ def run_many(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    chaos: Optional[dict] = None,
+    hedge: Optional[dict] = None,
 ) -> List[JobResult]:
     """Execute the ``ids × seeds`` sweep and return ordered results.
 
@@ -689,4 +1037,6 @@ def run_many(
         checkpoint_interval=checkpoint_interval,
         obs=obs,
         fast_forward=fast_forward,
+        chaos=chaos,
+        hedge=hedge,
     )

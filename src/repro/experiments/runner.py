@@ -16,6 +16,12 @@
     repro-experiments stats out/manifest.json    # telemetry from a sweep
     repro-experiments fleet-report out/          # fleet percentiles and
                                                  # capacity plan (ext-fleet)
+    repro-experiments ext-fleet --chaos flaky-crash --hedge
+                                                 # chaos-hardened fleet sweep
+    repro-experiments ext-fleet --strict-complete
+                                                 # exit 4 if any fleet sweep
+                                                 # is (exactly-accounted)
+                                                 # partial
 
 See ``docs/running-experiments.md`` for the full CLI reference and
 ``docs/observability.md`` for the trace/metrics outputs.
@@ -31,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..core.atomicio import atomic_write_text
 from ..core.runcache import RunCache, code_version
 from ..core.serialize import (
     load_json,
@@ -66,6 +73,13 @@ EXIT_INTERRUPTED = 130
 #: tell "the system under test regressed" from "the measurement itself
 #: cannot be trusted".
 EXIT_INVARIANT = 3
+
+#: Reserved exit code: a fleet sweep finished *incomplete* — sessions
+#: were quarantined or skipped, so the merged digest is stamped partial
+#: — and ``--strict-complete`` was set.  Distinct from 1 (errors) and 3
+#: (integrity): the measurements that exist are trustworthy, there are
+#: just exactly-accounted holes in coverage.
+EXIT_INCOMPLETE = 4
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -131,9 +145,13 @@ def _entry_from_job(job: JobResult, saved: Optional[str]) -> dict:
         "error": job.error,
         "failure_kind": job.failure_kind,
         "attempts": job.attempts,
+        "attempt_history": list(job.attempt_history),
         "resumed": False,
         "saved": saved,
     }
+    if job.hedges:
+        entry["hedges"] = job.hedges
+        entry["hedge_won"] = job.hedge_won
     # Surface injected-fault evidence (ext-faults) into the sweep
     # record, so a manifest alone shows what degradation ran.
     data = (job.payload or {}).get("data") or {}
@@ -191,6 +209,14 @@ def _harness_metrics(
         "repro_harness_retries_total",
         "Extra execution attempts after transient pool failures.",
     )
+    attempts = registry.counter(
+        "repro_harness_attempts_total",
+        "Per-job execution attempts by outcome kind ('ok' or a failure kind).",
+    )
+    hedges = registry.counter(
+        "repro_harness_hedges_total",
+        "Speculative straggler duplicates by outcome.",
+    )
     timeouts = registry.counter(
         "repro_harness_timeouts_total", "Jobs abandoned by the watchdog."
     )
@@ -226,6 +252,12 @@ def _harness_metrics(
             cache_evictions.inc(job.cache_evictions)
         if job.attempts > 1:
             retries.inc(job.attempts - 1)
+        for kind in job.attempt_history or [job.failure_kind or "ok"]:
+            attempts.inc(kind=kind)
+        if job.hedges:
+            hedges.inc(job.hedges, outcome="issued")
+            if job.hedge_won:
+                hedges.inc(outcome="won")
         if job.failure_kind == "timeout":
             timeouts.inc()
         if job.checkpoint_writes:
@@ -403,6 +435,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--chaos",
+        metavar="NAME",
+        default=None,
+        help=(
+            "inject a named deterministic harness-fault scenario (worker "
+            "crashes, hangs, torn writes, poisoned sessions ...) into "
+            "chaos-aware experiments; see docs/chaos.md for the scenario "
+            "vocabulary and the heal-or-account contract"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "seed for the chaos schedule; the same (plan, seed) replays "
+            "the exact same failures (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--hedge",
+        action="store_true",
+        help=(
+            "enable straggler hedging in fleet sweeps: once enough batches "
+            "have finished to know p95 wall time, re-issue the slowest "
+            "outstanding batch and take whichever copy finishes first"
+        ),
+    )
+    parser.add_argument(
+        "--strict-complete",
+        action="store_true",
+        help=(
+            "require every fleet sweep in the run to be 100%% complete; an "
+            "incomplete-but-accounted sweep (quarantined or skipped "
+            f"sessions) exits {EXIT_INCOMPLETE}"
+        ),
+    )
+    parser.add_argument(
         "--strict-invariants",
         action="store_true",
         help=(
@@ -492,6 +563,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"known: {', '.join(scenario_names())}"
             )
             return 2
+    if args.chaos is not None:
+        from ..chaos import chaos_scenario_names
+
+        if args.chaos not in chaos_scenario_names():
+            log.error(
+                f"unknown chaos scenario {args.chaos!r}; "
+                f"known: {', '.join(chaos_scenario_names())}"
+            )
+            return 2
 
     resume_manifest: Optional[dict] = None
     resume_dir: Optional[Path] = None
@@ -521,9 +601,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     # configuration the originals ran under, or the merged manifest
     # would mix healthy and faulted results.
     scenario = args.scenario
-    if scenario is None and resume_manifest is not None:
-        scenario = (resume_manifest.get("run_kwargs") or {}).get("scenario")
-    run_kwargs: Optional[dict] = {"scenario": scenario} if scenario else None
+    resume_kwargs = (
+        (resume_manifest.get("run_kwargs") or {})
+        if resume_manifest is not None
+        else {}
+    )
+    if scenario is None:
+        scenario = resume_kwargs.get("scenario")
+    chaos = args.chaos if args.chaos is not None else resume_kwargs.get("chaos")
+    run_kwargs: Optional[dict] = {}
+    if scenario:
+        run_kwargs["scenario"] = scenario
+    if chaos:
+        # Chaos-aware experiments (ext-fleet) take the plan name and
+        # seed as run kwargs; both enter the cache variant, so chaotic
+        # runs never reuse clean cache entries (or vice versa).
+        run_kwargs["chaos"] = chaos
+        run_kwargs["chaos_seed"] = (
+            args.chaos_seed
+            if args.chaos is not None
+            else int(resume_kwargs.get("chaos_seed", 0))
+        )
+    if args.hedge:
+        run_kwargs["hedge"] = True
+    run_kwargs = run_kwargs or None
 
     if args.ids:
         ids = [_normalize_id(experiment_id) for experiment_id in args.ids]
@@ -686,7 +787,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out:
         metrics_path = Path(args.metrics_out)
         if metrics_path.suffix == ".prom":
-            metrics_path.write_text(prometheus_text(merged_metrics))
+            atomic_write_text(metrics_path, prometheus_text(merged_metrics))
         else:
             save_json(
                 metrics_to_dict(merged_metrics, code_version=version),
@@ -725,18 +826,47 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     errors = sum(1 for entry in entries if entry.get("error") is not None)
     check_failures = sum(len(entry["failed_checks"]) for entry in entries)
+    # Fleet completeness accounting: batch failures and partial sweeps
+    # must reach the exit code, never just a log line.
+    fleet_batch_failures = 0
+    incomplete_fleets = 0
+    for entry in entries:
+        fleet = entry.get("fleet") or {}
+        if not fleet:
+            continue
+        fleet_batch_failures += int(fleet.get("failures") or 0)
+        expected = fleet.get("sessions_expected")
+        completed = fleet.get("sessions_completed", fleet.get("sessions"))
+        if expected is not None and completed != expected:
+            incomplete_fleets += 1
+            log.warning(
+                f"fleet sweep {entry['id']} (seed {entry['seed']}) is "
+                f"PARTIAL: {completed}/{expected} session(s), "
+                f"{fleet.get('sessions_quarantined', 0)} quarantined, "
+                f"{fleet.get('sessions_skipped', 0)} skipped"
+            )
     if errors:
         log.error(f"{errors} experiment(s) failed")
     if check_failures:
         log.error(f"{check_failures} shape check(s) FAILED")
     if invariant_failures:
         log.error(f"{invariant_failures} measurement invariant(s) FAILED")
+    if fleet_batch_failures:
+        log.error(
+            f"{fleet_batch_failures} fleet batch failure(s) left unaccounted"
+        )
     if interrupted:
         return EXIT_INTERRUPTED
     if args.strict_invariants and invariant_failures:
         return EXIT_INVARIANT
-    if errors or check_failures:
+    if errors or check_failures or fleet_batch_failures:
         return 1
+    if args.strict_complete and incomplete_fleets:
+        log.error(
+            f"{incomplete_fleets} incomplete fleet sweep(s) under "
+            f"--strict-complete"
+        )
+        return EXIT_INCOMPLETE
     print("all shape checks passed")
     return 0
 

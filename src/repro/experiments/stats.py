@@ -159,6 +159,45 @@ def render_stats(manifest: dict) -> str:
                 failures=fleet.get("failures", 0),
             )
         )
+        # Completeness accounting (absent from pre-chaos manifests).
+        expected = fleet.get("sessions_expected")
+        if expected is not None:
+            completeness = fleet.get("completeness")
+            lines.append(
+                "  completeness: {completed}/{expected} session(s) "
+                "({pct}) — {quarantined} quarantined, {skipped} skipped; "
+                "digest scope {scope}".format(
+                    completed=fleet.get("sessions_completed", "-"),
+                    expected=expected,
+                    pct=(
+                        f"{float(completeness):.1%}"
+                        if completeness is not None
+                        else "-"
+                    ),
+                    quarantined=fleet.get("sessions_quarantined", 0),
+                    skipped=fleet.get("sessions_skipped", 0),
+                    scope=fleet.get("digest_scope", "complete"),
+                )
+            )
+        if fleet.get("chaos"):
+            chaos = fleet["chaos"]
+            lines.append(
+                f"  chaos: plan {chaos.get('plan', '-')!r}, "
+                f"seed {chaos.get('seed', '-')}"
+            )
+        if fleet.get("hedging"):
+            hedging = fleet["hedging"]
+            lines.append(
+                f"  hedging: {hedging.get('issued', 0)} issued, "
+                f"{hedging.get('won', 0)} won"
+            )
+        if fleet.get("quarantine"):
+            sessions = fleet["quarantine"].get("sessions") or []
+            lines.append(
+                f"  quarantined session(s): "
+                f"{', '.join(str(s) for s in sessions[:20])}"
+                + (" ..." if len(sessions) > 20 else "")
+            )
         groups = fleet.get("groups") or {}
         if groups:
             fleet_table = TextTable(

@@ -26,12 +26,23 @@ the capacity-planning output (``p95 -> max concurrent sessions under a
 latency budget``); the ``ext-fleet`` experiment and the
 ``repro-experiments fleet-report`` verb are the user-facing surfaces.
 See ``docs/fleet-scale.md``.
+
+Execution is chaos-hardened: :func:`run_fleet` accepts a deterministic
+harness-fault plan (:mod:`repro.chaos`), hedges stragglers, bisects
+failing batches down to quarantined sessions, and accounts every
+session exactly — ``expected == completed + quarantined + skipped`` —
+stamping partial aggregates as such (see ``docs/chaos.md``).
 """
 
 from .population import PopulationConfig, SessionPopulation, SessionSpec
-from .report import capacity_plan, fleet_data, render_fleet_report
+from .report import (
+    capacity_plan,
+    coverage_table,
+    fleet_data,
+    render_fleet_report,
+)
 from .session import SessionResult, run_session
-from .shards import FleetResult, execute_fleet_batch, run_fleet
+from .shards import FleetResult, batch_job_id, execute_fleet_batch, run_fleet
 from .sketch import FleetAggregator, QuantileSketch, StageHistogram
 
 __all__ = [
@@ -43,7 +54,9 @@ __all__ = [
     "SessionResult",
     "SessionSpec",
     "StageHistogram",
+    "batch_job_id",
     "capacity_plan",
+    "coverage_table",
     "execute_fleet_batch",
     "fleet_data",
     "render_fleet_report",

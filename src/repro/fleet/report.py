@@ -36,6 +36,7 @@ from .sketch import FleetAggregator, relative_error_bound
 __all__ = [
     "capacity_plan",
     "capacity_table",
+    "coverage_table",
     "fleet_data",
     "fleet_report_main",
     "manifest_fleet_summary",
@@ -76,8 +77,11 @@ def fleet_data(result) -> dict:
     return {
         "provenance": result.provenance(),
         "groups": groups,
+        "coverage": result.group_coverage(),
         "batches": result.batches,
         "failures": result.failures,
+        "quarantined": result.quarantined,
+        "skipped": result.skipped,
         "makespan_s": result.makespan_s,
         "shard_utilization": result.shard_utilization(),
         "metrics": result.metrics,
@@ -113,6 +117,7 @@ def manifest_fleet_summary(fleet: Mapping) -> dict:
         "batches_from_checkpoint": provenance.get("batches_from_checkpoint"),
         "merge": provenance.get("merge"),
         "merged_digest": provenance.get("merged_digest"),
+        "digest_scope": provenance.get("digest_scope", "complete"),
         "population_seed": provenance.get("population_seed"),
         "population_fingerprint": provenance.get("population_fingerprint"),
         "compression": provenance.get("compression"),
@@ -121,6 +126,20 @@ def manifest_fleet_summary(fleet: Mapping) -> dict:
         "failures": len(fleet.get("failures") or []),
         "groups": groups,
     }
+    # Completeness accounting travels with every manifest: a partial
+    # sweep must be legible as partial from the manifest alone.
+    for key in (
+        "sessions_expected",
+        "sessions_completed",
+        "sessions_quarantined",
+        "sessions_skipped",
+        "completeness",
+    ):
+        if key in provenance:
+            summary[key] = provenance[key]
+    for key in ("quarantine", "chaos", "hedging", "recovery"):
+        if key in provenance:
+            summary[key] = provenance[key]
     return summary
 
 
@@ -249,20 +268,48 @@ def capacity_table(fleet: Mapping, budget_hours: float) -> TextTable:
     return table
 
 
+def coverage_table(fleet: Mapping) -> TextTable:
+    """Per-group completeness accounting for a partial sweep."""
+    table = TextTable(
+        [
+            "personality/scenario",
+            "expected",
+            "completed",
+            "quarantined",
+            "skipped",
+            "coverage",
+        ],
+        title="session coverage per group (completed + quarantined + skipped)",
+    )
+    for key in sorted(fleet.get("coverage") or {}):
+        counts = fleet["coverage"][key]
+        table.add_row(
+            key,
+            counts.get("expected", 0),
+            counts.get("completed", 0),
+            counts.get("quarantined", 0),
+            counts.get("skipped", 0),
+            f"{float(counts.get('coverage', 1.0)):.1%}",
+        )
+    return table
+
+
 def render_fleet_report(
     fleet: Mapping, budget_hours: float = DEFAULT_BUDGET_HOURS
 ) -> str:
     """The full terminal report for one serialized fleet section."""
     provenance = fleet.get("provenance") or {}
+    partial = provenance.get("digest_scope") == "partial"
     lines: List[str] = []
     lines.append(
         "fleet of {sessions} session(s), {events} event(s) — "
-        "{shards} shard(s), {batches} batch(es), digest {digest}".format(
+        "{shards} shard(s), {batches} batch(es), digest {digest}{scope}".format(
             sessions=provenance.get("sessions", "?"),
             events=provenance.get("events", "?"),
             shards=provenance.get("shards", "?"),
             batches=provenance.get("batches", "?"),
             digest=provenance.get("merged_digest", "?"),
+            scope=" [PARTIAL]" if partial else "",
         )
     )
     lines.append(
@@ -273,6 +320,30 @@ def render_fleet_report(
             merge=provenance.get("merge", "?"),
         )
     )
+    if partial:
+        lines.append(
+            "PARTIAL sweep: {completed}/{expected} session(s) aggregated "
+            "({quarantined} quarantined, {skipped} skipped), "
+            "completeness {completeness:.1%}".format(
+                completed=provenance.get("sessions_completed", "?"),
+                expected=provenance.get("sessions_expected", "?"),
+                quarantined=provenance.get("sessions_quarantined", 0),
+                skipped=provenance.get("sessions_skipped", 0),
+                completeness=float(provenance.get("completeness") or 0.0),
+            )
+        )
+    if provenance.get("chaos"):
+        chaos = provenance["chaos"]
+        lines.append(
+            f"chaos plan {chaos.get('plan', '?')!r} "
+            f"(seed {chaos.get('seed', '?')})"
+        )
+    if provenance.get("hedging"):
+        hedging = provenance["hedging"]
+        lines.append(
+            f"hedging: {hedging.get('issued', 0)} issued, "
+            f"{hedging.get('won', 0)} won"
+        )
     if fleet.get("makespan_s") is not None:
         lines.append(
             f"makespan {float(fleet['makespan_s']):.2f}s, "
@@ -281,6 +352,9 @@ def render_fleet_report(
     failures = fleet.get("failures") or []
     if failures:
         lines.append(f"WARNING: {len(failures)} failed batch(es)")
+    if partial and fleet.get("coverage"):
+        lines.append("")
+        lines.append(coverage_table(fleet).render())
     lines.append("")
     lines.append(wait_table(fleet).render())
     lines.append("")

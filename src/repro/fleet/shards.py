@@ -95,6 +95,7 @@ def execute_fleet_batch(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    chaos: Optional[dict] = None,
 ):
     """Pool entry point: run one session batch, streamingly aggregated.
 
@@ -109,7 +110,40 @@ def execute_fleet_batch(
     serialized :class:`~repro.fleet.sketch.FleetAggregator` — O(sketch)
     bytes however many events the batch's sessions produced; no
     per-event data survives the worker.
+
+    ``chaos`` enters this batch into a
+    :func:`~repro.chaos.engine.chaos_harness`: the worker may crash,
+    hang, straggle or sabotage its artifact writes before/around the
+    real work; ``poison`` chaos fails individual sessions inside the
+    loop (deterministically per index, so bisection converges on the
+    exact poisoned set), and ``corrupt-result`` mangles the *finished*
+    payload's digest after any cache write — the shared cache keeps
+    clean bytes; the corruption models the transport, and the fleet
+    fold's digest verification is what catches it.
     """
+    from ..chaos.engine import chaos_harness
+
+    with chaos_harness(chaos, job_id) as active_chaos:
+        job = _fleet_batch_job(
+            job_id, seed, cache, refresh, run_kwargs, obs, fast_forward,
+            active_chaos,
+        )
+    if active_chaos is not None:
+        active_chaos.corrupt_result(job)
+    return job
+
+
+def _fleet_batch_job(
+    job_id: str,
+    seed: int,
+    cache: Optional[RunCache],
+    refresh: bool,
+    run_kwargs: Optional[dict],
+    obs: Optional[dict],
+    fast_forward: bool,
+    active_chaos=None,
+):
+    """:func:`execute_fleet_batch` inside the chaos harness."""
     from ..experiments.common import ExperimentResult
     from ..experiments.parallel import JobResult
     from ..sim.engine import set_fast_forward_default
@@ -154,6 +188,8 @@ def execute_fleet_batch(
             aggregator = FleetAggregator(compression)
             faults = 0
             for index in range(start, stop):
+                if active_chaos is not None:
+                    active_chaos.check_poison(index)
                 result = run_session(population.spec(index))
                 aggregator.add_session(result)
                 faults += result.faults_injected
@@ -216,7 +252,16 @@ def execute_fleet_batch(
 
 @dataclass
 class FleetResult:
-    """A completed fleet sweep: merged aggregate plus scheduling record."""
+    """A completed fleet sweep: merged aggregate plus scheduling record.
+
+    Completeness accounting is exact by construction: every one of the
+    population's sessions ends in exactly one of *completed* (merged
+    into the aggregate), *quarantined* (confirmed failing at session
+    granularity) or *skipped* (not attempted: circuit breaker open, or
+    part of an unrecovered batch), so ``sessions_expected ==
+    sessions_completed + sessions_quarantined + sessions_skipped``
+    always holds — a partial sweep can mis-measure nothing silently.
+    """
 
     aggregate: FleetAggregator
     config: PopulationConfig
@@ -225,8 +270,23 @@ class FleetResult:
     makespan_s: float
     #: Per-batch scheduling stats (id, wall_s, queue_s, cache/source).
     batches: List[dict] = field(default_factory=list)
-    #: Batch ids that failed (error/timeout) — empty on a clean run.
+    #: Batch ids still failed *after* recovery — empty whenever the
+    #: quarantine layer ran (it always reduces batches to accounted
+    #: sessions); non-empty only with ``quarantine=False``.
     failures: List[dict] = field(default_factory=list)
+    #: Sessions confirmed failing at single-session granularity:
+    #: ``{"index", "group", "failure_kind"}`` — the poison set.
+    quarantined: List[dict] = field(default_factory=list)
+    #: Sessions deliberately not attempted (open circuit breaker /
+    #: unrecovered batches): ``{"index", "group", "reason"}``.
+    skipped: List[dict] = field(default_factory=list)
+    #: Recovery-stage record: observed failures, re-runs, healed
+    #: batches, breaker state (``None`` when nothing failed).
+    recovery: Optional[dict] = None
+    #: Chaos provenance (plan identity + seed) when chaos was active.
+    chaos: Optional[dict] = None
+    #: Hedging stats (``{"issued", "won"}``) when hedging was enabled.
+    hedging: Optional[dict] = None
     #: Merged metrics snapshot (fleet scheduling self-observation).
     metrics: Optional[dict] = None
 
@@ -234,10 +294,83 @@ class FleetResult:
     def digest(self) -> str:
         return self.aggregate.digest()
 
+    # ------------------------------------------------------------------
+    # Completeness accounting
+    # ------------------------------------------------------------------
+    @property
+    def sessions_expected(self) -> int:
+        return self.config.size
+
+    @property
+    def sessions_completed(self) -> int:
+        return self.aggregate.sessions
+
+    @property
+    def sessions_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def sessions_skipped(self) -> int:
+        return len(self.skipped)
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of expected sessions in the aggregate, 0..1."""
+        if self.sessions_expected <= 0:
+            return 1.0
+        return self.sessions_completed / self.sessions_expected
+
+    @property
+    def complete(self) -> bool:
+        return self.sessions_completed == self.sessions_expected
+
+    @property
+    def digest_scope(self) -> str:
+        """``"complete"`` or ``"partial"`` — what the merged digest
+        covers.  The digest itself stays the raw aggregate digest (so
+        two equally-partial runs still compare byte-for-byte); the
+        scope stamp is what stops a partial digest from being read as
+        a complete one."""
+        return "complete" if self.complete else "partial"
+
+    def group_coverage(self) -> dict:
+        """Per-``(os, scenario)`` coverage, computed without ever
+        enumerating the population: completed counts come from the
+        aggregate's groups, losses from the quarantine/skip records'
+        group tags (sessions lost before their group was known — an
+        unrecovered whole batch — land under ``"unattributed"``)."""
+        coverage: dict = {}
+
+        def _bucket(group: str) -> dict:
+            return coverage.setdefault(
+                group,
+                {"completed": 0, "quarantined": 0, "skipped": 0},
+            )
+
+        for (os_name, scenario), group in sorted(
+            self.aggregate.groups.items()
+        ):
+            _bucket(f"{os_name}/{scenario}")["completed"] = group["sessions"]
+        for entry in self.quarantined:
+            _bucket(entry.get("group") or "unattributed")["quarantined"] += 1
+        for entry in self.skipped:
+            _bucket(entry.get("group") or "unattributed")["skipped"] += 1
+        for group, counts in coverage.items():
+            expected = (
+                counts["completed"]
+                + counts["quarantined"]
+                + counts["skipped"]
+            )
+            counts["expected"] = expected
+            counts["coverage"] = (
+                counts["completed"] / expected if expected else 1.0
+            )
+        return coverage
+
     def provenance(self) -> dict:
         """The sketch-merge provenance record manifests embed."""
         cached = sum(1 for b in self.batches if b["source"] == "cache")
-        return {
+        record = {
             "population_seed": self.config.seed,
             "population_fingerprint": self.config.fingerprint(),
             "sessions": self.aggregate.sessions,
@@ -252,8 +385,32 @@ class FleetResult:
             ),
             "merge": "commutative-bucket-add",
             "merged_digest": self.digest,
+            "digest_scope": self.digest_scope,
+            "sessions_expected": self.sessions_expected,
+            "sessions_completed": self.sessions_completed,
+            "sessions_quarantined": self.sessions_quarantined,
+            "sessions_skipped": self.sessions_skipped,
+            "completeness": self.completeness,
             "code_version": code_version(),
         }
+        if self.quarantined:
+            # The exact poison set, pinned to this population: enough
+            # to reproduce any quarantined session in isolation.
+            record["quarantine"] = {
+                "population_fingerprint": self.config.fingerprint(),
+                "sessions": sorted(e["index"] for e in self.quarantined),
+            }
+        if self.chaos is not None:
+            record["chaos"] = dict(self.chaos)
+        if self.hedging is not None:
+            record["hedging"] = dict(self.hedging)
+        if self.recovery is not None:
+            record["recovery"] = {
+                key: value
+                for key, value in self.recovery.items()
+                if key != "observed_failures"
+            }
+        return record
 
     def shard_utilization(self) -> float:
         """sum(batch wall) / (shards * makespan), 0..1."""
@@ -294,7 +451,50 @@ def _fleet_metrics(result: FleetResult) -> MetricsRegistry:
         "repro_fleet_shard_utilization",
         "sum(batch wall) / (shards * makespan), 0..1.",
     ).set(result.shard_utilization())
+    registry.gauge(
+        "repro_fleet_completeness",
+        "sessions_completed / sessions_expected, 0..1.",
+    ).set(result.completeness)
+    if result.sessions_quarantined:
+        registry.counter(
+            "repro_fleet_sessions_quarantined_total",
+            "Sessions confirmed failing and quarantined.",
+        ).inc(result.sessions_quarantined)
+    if result.sessions_skipped:
+        registry.counter(
+            "repro_fleet_sessions_skipped_total",
+            "Sessions not attempted (breaker open / unrecovered batch).",
+        ).inc(result.sessions_skipped)
+    if result.hedging:
+        hedges = registry.counter(
+            "repro_fleet_hedges_total", "Speculative batch duplicates."
+        )
+        hedges.inc(result.hedging.get("issued", 0), outcome="issued")
+        hedges.inc(result.hedging.get("won", 0), outcome="won")
     return registry
+
+
+def _verified_batch_data(job) -> Tuple[Optional[dict], Optional[str]]:
+    """Extract and integrity-check one batch job's aggregate payload.
+
+    Returns ``(data, None)`` for a verified payload, ``(None, reason)``
+    when the payload is missing, malformed, or its aggregate bytes
+    disagree with the digest recorded next to them — the signature of
+    corruption in transit (or a ``corrupt-result`` chaos fault).  Runs
+    on *every* batch, chaos or not: digest verification is how the fold
+    refuses to merge bytes it cannot vouch for.
+    """
+    data = (job.payload or {}).get("data") or {}
+    try:
+        aggregate = FleetAggregator.from_dict(data["aggregate"])
+    except Exception:
+        return None, "batch payload malformed (no valid aggregate)"
+    if aggregate.digest() != data.get("digest"):
+        return None, (
+            f"batch digest mismatch: recorded {data.get('digest')!r} != "
+            f"recomputed {aggregate.digest()!r}"
+        )
+    return data, None
 
 
 def run_fleet(
@@ -311,6 +511,11 @@ def run_fleet(
     checkpoint=None,
     batch_order: Optional[Sequence[int]] = None,
     on_batch: Optional[Callable[[dict], None]] = None,
+    chaos=None,
+    chaos_seed: int = 0,
+    hedge=None,
+    quarantine: bool = True,
+    breaker_threshold: int = 3,
 ) -> FleetResult:
     """Run a whole population and return its merged aggregate.
 
@@ -327,7 +532,31 @@ def run_fleet(
     the running merge as its result arrives and the payload is dropped,
     so peak memory is O(shards x sketch size + batches), independent of
     session (and event) count.
+
+    **Chaos and recovery.**  ``chaos`` (a
+    :class:`~repro.chaos.plan.ChaosPlan` or a scenario name from
+    :func:`repro.chaos.scenarios.get_chaos_scenario`) plus
+    ``chaos_seed`` inject deterministic harness faults into batch
+    workers.  ``hedge`` (``True`` for defaults, or a ``{"factor",
+    "min_completed"}`` dict) enables straggler hedging on pool rounds.
+    ``quarantine`` (on by default) drives the recovery stage: every
+    batch still failed after retries is re-run once and, if it fails
+    deterministically, bisected down to session granularity — transient
+    faults heal with digests byte-identical to a clean run; confirmed
+    poison sessions land in :attr:`FleetResult.quarantined` (and in
+    provenance), and once ``breaker_threshold`` sessions of one ``(os,
+    scenario)`` group are quarantined, that group's circuit opens and
+    further failing sessions are *skipped* instead of re-run.  Either
+    way the accounting identity ``expected == completed + quarantined
+    + skipped`` is exact.
     """
+    from ..chaos import (
+        RECOVERY_ATTEMPT_BASE,
+        ChaosPlan,
+        CircuitBreaker,
+        chaos_payload,
+        get_chaos_scenario,
+    )
     from ..experiments.parallel import run_specs
 
     population = SessionPopulation(config)
@@ -340,9 +569,22 @@ def run_fleet(
             )
         order = list(batch_order)
 
+    if isinstance(chaos, str):
+        chaos = get_chaos_scenario(chaos)
+    chaos_dict = (
+        chaos_payload(chaos, seed=chaos_seed)
+        if isinstance(chaos, ChaosPlan)
+        else None
+    )
+    if hedge is True:
+        hedge = {"factor": 1.5, "min_completed": 3}
+    elif not hedge:
+        hedge = None
+
     aggregator = FleetAggregator(compression)
     batch_stats: List[dict] = []
     failures: List[dict] = []
+    hedge_stats = {"issued": 0, "won": 0}
 
     # Batches already in the checkpoint are restored, not re-run.  Keys
     # are namespaced by population fingerprint so a checkpoint directory
@@ -373,16 +615,26 @@ def run_fleet(
             to_run.append((job_id, config.seed))
 
     def fold(job) -> None:
+        hedge_stats["issued"] += job.hedges
+        hedge_stats["won"] += 1 if job.hedge_won else 0
+        if job.error is None:
+            # Integrity gate: never merge bytes whose recorded digest
+            # disagrees with their content (corruption in transit).
+            data, integrity_error = _verified_batch_data(job)
+            if integrity_error is not None:
+                job.error = integrity_error
+                job.failure_kind = "corrupt"
         if job.error is not None:
             failures.append(
                 {
                     "id": job.experiment_id,
                     "failure_kind": job.failure_kind,
                     "error": job.error,
+                    "attempts": job.attempts,
+                    "attempt_history": list(job.attempt_history),
                 }
             )
             return
-        data = (job.payload or {}).get("data") or {}
         batch_aggregate = FleetAggregator.from_dict(data["aggregate"])
         aggregator.merge(batch_aggregate)
         if checkpoint is not None:
@@ -422,7 +674,145 @@ def run_fleet(
             "compression": compression,
         },
         executor=execute_fleet_batch,
+        chaos=chaos_dict,
+        hedge=hedge,
     )
+
+    # ------------------------------------------------------------------
+    # Recovery: re-run failed batches in isolation, bisecting down to
+    # session granularity.  Transient faults heal (the recovery chaos
+    # channel uses attempt numbers no windowed spec can reach, and the
+    # schedule is deterministic, so a healed digest is byte-identical);
+    # deterministic failures converge on the exact poisoned session set.
+    # ------------------------------------------------------------------
+    quarantined: List[dict] = []
+    skipped: List[dict] = []
+    recovery_info: Optional[dict] = None
+    if failures and quarantine:
+        observed = [dict(entry) for entry in failures]
+        breaker = CircuitBreaker(breaker_threshold)
+        rerun_count = 0
+        healed_sessions = 0
+
+        def _merge_recovered(job, data: dict) -> None:
+            nonlocal healed_sessions
+            aggregator.merge(FleetAggregator.from_dict(data["aggregate"]))
+            if checkpoint is not None:
+                checkpoint.record(
+                    f"{fingerprint}:{job.experiment_id}", data["aggregate"]
+                )
+            healed_sessions += int(data.get("sessions", 0))
+            stat = {
+                "id": job.experiment_id,
+                "wall_s": job.wall_s,
+                "queue_s": job.queue_s,
+                "sessions": data.get("sessions", 0),
+                "source": "recovery",
+            }
+            batch_stats.append(stat)
+            if on_batch is not None:
+                on_batch(stat)
+
+        def _rerun(start: int, stop: int, depth: int):
+            """Re-run ``[start, stop)`` once, in-process, on the
+            recovery chaos channel.  Returns ``(job, verified data or
+            None)``."""
+            nonlocal rerun_count
+            rerun_count += 1
+            results: List = []
+            run_specs(
+                [(batch_job_id(start, stop), config.seed)],
+                jobs=1,
+                cache=cache,
+                refresh=refresh,
+                on_result=results.append,
+                timeout_s=timeout_s,
+                retries=0,
+                run_kwargs={
+                    "population": config.to_dict(),
+                    "compression": compression,
+                },
+                executor=execute_fleet_batch,
+                chaos=(
+                    dict(
+                        chaos_dict,
+                        attempt_base=RECOVERY_ATTEMPT_BASE + depth,
+                    )
+                    if chaos_dict is not None
+                    else None
+                ),
+            )
+            job = results[0]
+            if job.error is None:
+                data, integrity_error = _verified_batch_data(job)
+                if integrity_error is None:
+                    return job, data
+                job.error = integrity_error
+                job.failure_kind = "corrupt"
+            return job, None
+
+        def _recover_range(start: int, stop: int, depth: int) -> None:
+            if stop - start == 1:
+                spec = population.spec(start)
+                group = f"{spec.os_name}/{spec.scenario or 'healthy'}"
+                if not breaker.allow(group):
+                    breaker.skip(group)
+                    skipped.append(
+                        {
+                            "index": start,
+                            "group": group,
+                            "reason": "circuit-open",
+                        }
+                    )
+                    return
+                job, data = _rerun(start, stop, depth)
+                if data is not None:
+                    _merge_recovered(job, data)
+                    return
+                breaker.record(group)
+                quarantined.append(
+                    {
+                        "index": start,
+                        "group": group,
+                        "failure_kind": job.failure_kind,
+                        "error": (job.error or "").strip()[-200:],
+                    }
+                )
+                return
+            job, data = _rerun(start, stop, depth)
+            if data is not None:
+                _merge_recovered(job, data)
+                return
+            mid = (start + stop) // 2
+            _recover_range(start, mid, depth + 1)
+            _recover_range(mid, stop, depth + 1)
+
+        for entry in failures:
+            start, stop = _parse_batch_id(entry["id"])
+            _recover_range(start, stop, depth=0)
+        failures = []
+        recovery_info = {
+            "observed_failures": observed,
+            "reruns": rerun_count,
+            "healed_sessions": healed_sessions,
+            "breaker": breaker.to_dict(),
+        }
+    elif failures:
+        # Quarantine disabled: the loss is still accounted, just at
+        # batch granularity — every session of a failed batch is
+        # recorded as skipped so the completeness identity holds.
+        for entry in failures:
+            start, stop = _parse_batch_id(entry["id"])
+            for index in range(start, stop):
+                spec = population.spec(index)
+                skipped.append(
+                    {
+                        "index": index,
+                        "group": f"{spec.os_name}/{spec.scenario or 'healthy'}",
+                        "reason": "failed-batch",
+                    }
+                )
+
     makespan_s = time.perf_counter() - started
     if checkpoint is not None:
         checkpoint.flush()
@@ -435,10 +825,26 @@ def run_fleet(
         makespan_s=makespan_s,
         batches=batch_stats,
         failures=failures,
+        quarantined=quarantined,
+        skipped=skipped,
+        recovery=recovery_info,
+        chaos=(
+            {
+                "plan": chaos.name,
+                "seed": int(chaos_seed),
+                "kinds": list(chaos.kinds),
+            }
+            if chaos_dict is not None
+            else None
+        ),
+        hedging=(dict(hedge_stats) if hedge else None),
     )
     fleet.metrics = _fleet_metrics(fleet).snapshot()
-    if failures:
+    if not fleet.complete or failures:
         log.warning(
-            f"fleet sweep finished with {len(failures)} failed batch(es)"
+            "fleet sweep incomplete: "
+            f"{fleet.sessions_completed}/{fleet.sessions_expected} sessions "
+            f"({len(failures)} failed batch(es), "
+            f"{len(quarantined)} quarantined, {len(skipped)} skipped)"
         )
     return fleet

@@ -37,6 +37,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from .core.atomicio import atomic_write_text
+
 __all__ = [
     "SPEEDUP_FLOOR",
     "TOLERANCE",
@@ -204,7 +206,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             metrics = collect_metrics(_load(args.input))
             text = json.dumps(metrics, indent=2, sort_keys=True) + "\n"
             if args.output:
-                Path(args.output).write_text(text, encoding="utf-8")
+                atomic_write_text(Path(args.output), text)
                 print(
                     f"perfgate: wrote {len(metrics['benchmarks'])} benchmark(s) "
                     f"to {args.output}"

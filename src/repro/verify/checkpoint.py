@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import copy
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
+
+from ..core.atomicio import atomic_write_json
 
 __all__ = ["Checkpointer", "checkpoint_path"]
 
@@ -110,16 +110,7 @@ class Checkpointer:
         }
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(json.dumps(payload, sort_keys=True))
-                os.replace(tmp, self.path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_json(self.path, payload)
         except OSError:
             return None
         self._pending = 0

@@ -26,6 +26,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.atomicio import atomic_write_text
+
 __all__ = [
     "GOLDEN_SET",
     "canonical_json",
@@ -145,7 +147,9 @@ def update_golden(
         record = _record_from_payload(experiment_id, seed, payload)
         path = golden_path(experiment_id, seed, directory)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        atomic_write_text(
+            path, json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
         written.append(path)
     return written
 

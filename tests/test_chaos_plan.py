@@ -1,0 +1,238 @@
+"""Chaos plans, the seeded engine, scenarios and the circuit breaker.
+
+The contract under test is determinism: a ``(plan, seed)`` pair *is*
+the failure schedule — same decisions on any machine, any attempt
+ordering, any batching — plus the attempt-channel separation that makes
+windowed faults provably unable to fire on healing re-runs.
+"""
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_KINDS,
+    HEALABLE_SCENARIOS,
+    HEDGE_ATTEMPT_BASE,
+    RECOVERY_ATTEMPT_BASE,
+    ChaosEngine,
+    ChaosPlan,
+    ChaosPoison,
+    ChaosSpec,
+    CircuitBreaker,
+    chaos_harness,
+    chaos_payload,
+    chaos_scenario_names,
+    chaos_scenarios,
+    get_chaos_scenario,
+)
+
+
+# ----------------------------------------------------------------------
+# Specs and plans: validation + serialization
+# ----------------------------------------------------------------------
+def test_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown chaos kind"):
+        ChaosSpec.make("bad", "meteor-strike")
+
+
+def test_spec_rejects_bad_probability():
+    with pytest.raises(ValueError, match="probability"):
+        ChaosSpec.make("bad", "crash", probability=1.5)
+    with pytest.raises(ValueError, match="probability"):
+        ChaosSpec.make("bad", "crash", probability=-0.1)
+
+
+def test_spec_rejects_bad_max_attempt():
+    with pytest.raises(ValueError, match="max_attempt"):
+        ChaosSpec.make("bad", "crash", max_attempt=0)
+
+
+def test_plan_rejects_duplicate_spec_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        ChaosPlan(
+            "dup",
+            (ChaosSpec.make("a", "crash"), ChaosSpec.make("a", "hang")),
+        )
+
+
+def test_plan_round_trips_through_dict():
+    plan = ChaosPlan(
+        "roundtrip",
+        (
+            ChaosSpec.make("c", "crash", probability=0.5, max_attempt=2),
+            ChaosSpec.make(
+                "w", "corrupt-write", params={"scope": "cache"}
+            ),
+        ),
+    )
+    clone = ChaosPlan.from_dict(plan.to_dict())
+    assert clone == plan
+    assert clone.fingerprint() == plan.fingerprint()
+    assert clone.kinds == ["crash", "corrupt-write"]
+
+
+def test_plan_from_dict_rejects_wrong_kind():
+    with pytest.raises(ValueError, match="not a chaos-plan"):
+        ChaosPlan.from_dict({"kind": "fault-plan", "name": "x", "specs": []})
+
+
+def test_fingerprint_is_sensitive_to_content():
+    base = ChaosPlan("p", (ChaosSpec.make("a", "crash", probability=0.5),))
+    tweaked = ChaosPlan("p", (ChaosSpec.make("a", "crash", probability=0.6),))
+    assert base.fingerprint() != tweaked.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Engine: deterministic schedules, windows, channels
+# ----------------------------------------------------------------------
+def _engine(probability=0.5, max_attempt=None, seed=0):
+    plan = ChaosPlan(
+        "t",
+        (
+            ChaosSpec.make(
+                "flip", "crash", probability=probability, max_attempt=max_attempt
+            ),
+        ),
+    )
+    return ChaosEngine(plan, seed=seed)
+
+
+def test_engine_schedule_replays_exactly():
+    first = _engine(seed=7)
+    second = _engine(seed=7)
+    jobs = [f"job:{i}" for i in range(64)]
+    schedule = [(j, a) for j in jobs for a in range(3)]
+    assert [bool(first.active(j, a)) for j, a in schedule] == [
+        bool(second.active(j, a)) for j, a in schedule
+    ]
+
+
+def test_engine_schedule_depends_on_seed():
+    a, b = _engine(seed=1), _engine(seed=2)
+    jobs = [f"job:{i}" for i in range(128)]
+    assert [bool(a.active(j, 0)) for j in jobs] != [
+        bool(b.active(j, 0)) for j in jobs
+    ]
+
+
+def test_engine_probability_extremes():
+    always = _engine(probability=1.0)
+    never = _engine(probability=0.0)
+    for i in range(32):
+        assert always.active(f"j{i}", 0)
+        assert not never.active(f"j{i}", 0)
+
+
+def test_max_attempt_windows_off_healing_channels():
+    engine = _engine(probability=1.0, max_attempt=1)
+    assert engine.active("job", 0)  # first plain attempt: fires
+    assert not engine.active("job", 1)  # retry round: healed
+    # Hedge and recovery channels sit far above any window, by
+    # construction — this is what makes windowed faults healable.
+    assert not engine.active("job", HEDGE_ATTEMPT_BASE)
+    assert not engine.active("job", RECOVERY_ATTEMPT_BASE)
+    assert not engine.active("job", RECOVERY_ATTEMPT_BASE + 5)
+
+
+def test_poison_is_stable_per_index_and_never_job_active():
+    plan = ChaosPlan(
+        "p", (ChaosSpec.make("poison", "poison", probability=0.3),)
+    )
+    engine = ChaosEngine(plan, seed=11)
+    poisoned = {i for i in range(200) if engine.poisoned(i)}
+    assert poisoned  # 0.3 over 200 draws: statistically certain
+    assert poisoned != set(range(200))
+    # Stable: recomputing gives the identical set (bisection relies on
+    # this — re-running a poisoned session can never make it pass).
+    again = {i for i in range(200) if ChaosEngine(plan, seed=11).poisoned(i)}
+    assert again == poisoned
+    # Poison keys on sessions, not jobs: it never fires at harness entry.
+    for attempt in (0, 1, HEDGE_ATTEMPT_BASE, RECOVERY_ATTEMPT_BASE):
+        assert not engine.active("fleet:0-50", attempt)
+
+
+def test_harness_yields_none_without_payload():
+    with chaos_harness(None, "job") as active:
+        assert active is None
+
+
+def test_harness_poison_check_raises():
+    plan = ChaosPlan("p", (ChaosSpec.make("all", "poison", probability=1.0),))
+    with chaos_harness(chaos_payload(plan, seed=0), "fleet:0-4") as active:
+        assert active is not None
+        with pytest.raises(ChaosPoison):
+            active.check_poison(2)
+
+
+def test_chaos_payload_shape():
+    plan = ChaosPlan("p", (ChaosSpec.make("c", "crash"),))
+    payload = chaos_payload(plan, seed=9)
+    assert payload == {"plan": plan.to_dict(), "seed": 9}
+    stamped = chaos_payload(plan, seed=9, attempt_base=RECOVERY_ATTEMPT_BASE)
+    assert stamped["attempt_base"] == RECOVERY_ATTEMPT_BASE
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+def test_scenarios_all_build_and_names_sorted():
+    scenarios = chaos_scenarios()
+    assert sorted(scenarios) == chaos_scenario_names()
+    for name, plan in scenarios.items():
+        assert isinstance(plan, ChaosPlan)
+        assert plan.name == name
+        for spec in plan:
+            assert spec.kind in CHAOS_KINDS
+
+
+def test_healable_scenarios_are_known_and_exclude_poison():
+    names = set(chaos_scenario_names())
+    assert set(HEALABLE_SCENARIOS) <= names
+    for name in HEALABLE_SCENARIOS:
+        assert "poison" not in get_chaos_scenario(name).kinds
+    for name in names - set(HEALABLE_SCENARIOS):
+        assert "poison" in get_chaos_scenario(name).kinds
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown chaos scenario"):
+        get_chaos_scenario("tsunami")
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_at_threshold():
+    breaker = CircuitBreaker(threshold=2)
+    key = "win95/smoke"
+    assert breaker.allow(key)
+    breaker.record(key)
+    assert breaker.allow(key)
+    breaker.record(key)
+    assert not breaker.allow(key)
+    assert breaker.tripped == {key: 2}
+    # Other groups are unaffected.
+    assert breaker.allow("nt40/healthy")
+
+
+def test_breaker_threshold_zero_never_opens():
+    breaker = CircuitBreaker(threshold=0)
+    for _ in range(10):
+        breaker.record("g")
+    assert breaker.allow("g")
+    assert breaker.tripped == {}
+
+
+def test_breaker_rejects_negative_threshold():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=-1)
+
+
+def test_breaker_to_dict_accounts_skips():
+    breaker = CircuitBreaker(threshold=1)
+    breaker.record("g")
+    breaker.skip("g")
+    breaker.skip("g")
+    state = breaker.to_dict()
+    assert state["failures"] == {"g": 1}
+    assert state["skips"] == {"g": 2}
+    assert state["tripped"] == ["g"]

@@ -1,0 +1,191 @@
+"""Unhealable chaos: loss must be accounted exactly, never silently.
+
+Acceptance bar (ISSUE 7): under a deterministic poison schedule the
+quarantine machinery bisects failing batches down to session
+granularity, pins the poison set in provenance, trips per-group circuit
+breakers on systemic failure, and always satisfies ``expected ==
+completed + quarantined + skipped`` — with the merged digest stamped
+``partial``.
+"""
+
+import pytest
+
+from repro.chaos import ChaosEngine, chaos_payload, get_chaos_scenario
+from repro.fleet.population import PopulationConfig, SessionPopulation
+from repro.fleet.shards import run_fleet
+
+_CONFIG = dict(seed=7, size=24, chars_range=(4, 6))
+
+
+def _config() -> PopulationConfig:
+    return PopulationConfig(**_CONFIG)
+
+
+def _poisoned_indices(scenario: str, chaos_seed: int, size: int) -> set:
+    engine = ChaosEngine(get_chaos_scenario(scenario), seed=chaos_seed)
+    return {i for i in range(size) if engine.poisoned(i)}
+
+
+def _assert_accounted(fleet) -> None:
+    assert (
+        fleet.sessions_expected
+        == fleet.sessions_completed
+        + fleet.sessions_quarantined
+        + fleet.sessions_skipped
+    )
+
+
+def test_bisection_quarantines_exactly_the_poisoned_sessions():
+    expected_poison = _poisoned_indices("poison-sessions", 3, _CONFIG["size"])
+    assert expected_poison  # schedule must actually poison something
+    fleet = run_fleet(
+        _config(),
+        shards=1,
+        batch_size=6,
+        chaos="poison-sessions",
+        chaos_seed=3,
+    )
+    _assert_accounted(fleet)
+    assert {e["index"] for e in fleet.quarantined} == expected_poison
+    assert fleet.sessions_skipped == 0
+    assert fleet.sessions_completed == _CONFIG["size"] - len(expected_poison)
+    assert not fleet.complete
+    assert fleet.digest_scope == "partial"
+    # Every quarantine record carries its (os, scenario) group tag.
+    population = SessionPopulation(_config())
+    for entry in fleet.quarantined:
+        spec = population.spec(entry["index"])
+        assert entry["group"] == f"{spec.os_name}/{spec.scenario or 'healthy'}"
+        assert entry["failure_kind"] == "error"
+
+
+def test_provenance_pins_the_poison_set():
+    fleet = run_fleet(
+        _config(), shards=1, batch_size=6, chaos="poison-sessions", chaos_seed=3
+    )
+    record = fleet.provenance()
+    assert record["digest_scope"] == "partial"
+    assert record["sessions_expected"] == _CONFIG["size"]
+    assert (
+        record["sessions_completed"]
+        + record["sessions_quarantined"]
+        + record["sessions_skipped"]
+        == record["sessions_expected"]
+    )
+    quarantine = record["quarantine"]
+    assert quarantine["population_fingerprint"] == _config().fingerprint()
+    assert quarantine["sessions"] == sorted(
+        e["index"] for e in fleet.quarantined
+    )
+    assert record["chaos"]["plan"] == "poison-sessions"
+    assert record["chaos"]["seed"] == 3
+
+
+def test_group_coverage_sums_to_expected():
+    fleet = run_fleet(
+        _config(), shards=1, batch_size=6, chaos="poison-sessions", chaos_seed=3
+    )
+    coverage = fleet.group_coverage()
+    total = sum(counts["expected"] for counts in coverage.values())
+    assert total == _CONFIG["size"]
+    for counts in coverage.values():
+        assert (
+            counts["expected"]
+            == counts["completed"] + counts["quarantined"] + counts["skipped"]
+        )
+        assert 0.0 <= counts["coverage"] <= 1.0
+
+
+def test_epidemic_trips_breaker_into_skips():
+    fleet = run_fleet(
+        _config(),
+        shards=1,
+        batch_size=6,
+        chaos="poison-epidemic",
+        chaos_seed=3,
+        breaker_threshold=2,
+    )
+    _assert_accounted(fleet)
+    assert fleet.sessions_skipped > 0  # breaker opened somewhere
+    breaker = fleet.recovery["breaker"]
+    assert breaker["threshold"] == 2
+    assert breaker["tripped"]  # at least one group's circuit opened
+    for entry in fleet.skipped:
+        assert entry["reason"] == "circuit-open"
+        assert entry["group"] in breaker["tripped"]
+
+
+def test_breaker_threshold_zero_investigates_everything():
+    expected_poison = _poisoned_indices("poison-epidemic", 3, _CONFIG["size"])
+    fleet = run_fleet(
+        _config(),
+        shards=1,
+        batch_size=6,
+        chaos="poison-epidemic",
+        chaos_seed=3,
+        breaker_threshold=0,
+    )
+    _assert_accounted(fleet)
+    assert fleet.sessions_skipped == 0
+    assert {e["index"] for e in fleet.quarantined} == expected_poison
+
+
+def test_quarantine_disabled_accounts_at_batch_granularity():
+    fleet = run_fleet(
+        _config(),
+        shards=1,
+        batch_size=6,
+        chaos="poison-sessions",
+        chaos_seed=3,
+        quarantine=False,
+    )
+    _assert_accounted(fleet)
+    assert fleet.failures  # the failed batches stay on record
+    assert fleet.sessions_quarantined == 0
+    assert fleet.sessions_skipped > 0
+    assert fleet.digest_scope == "partial"
+    for entry in fleet.skipped:
+        assert entry["reason"] == "failed-batch"
+    # Whole failed batches were dropped: skip count is a multiple of
+    # the losses' batch membership, and completed sessions came only
+    # from clean batches.
+    assert fleet.sessions_completed + fleet.sessions_skipped == _CONFIG["size"]
+
+
+def test_corrupt_results_without_quarantine_are_classified_corrupt():
+    """Transport corruption is caught by the fold's digest check and —
+    with recovery off and no retries — lands in failures as 'corrupt',
+    with every session accounted as skipped."""
+    fleet = run_fleet(
+        _config(),
+        shards=1,
+        batch_size=6,
+        chaos="corrupt-results",
+        chaos_seed=0,
+        quarantine=False,
+    )
+    _assert_accounted(fleet)
+    assert fleet.sessions_completed == 0
+    assert fleet.sessions_skipped == _CONFIG["size"]
+    assert fleet.failures
+    for entry in fleet.failures:
+        assert entry["failure_kind"] == "corrupt"
+        assert "digest mismatch" in entry["error"]
+
+
+def test_partial_digest_matches_clean_run_over_surviving_sessions():
+    """The partial digest is not garbage: it equals the digest of a
+    clean in-process fold over exactly the surviving sessions."""
+    from repro.fleet.session import run_session
+    from repro.fleet.sketch import DEFAULT_COMPRESSION, FleetAggregator
+
+    fleet = run_fleet(
+        _config(), shards=1, batch_size=6, chaos="poison-sessions", chaos_seed=3
+    )
+    lost = {e["index"] for e in fleet.quarantined}
+    population = SessionPopulation(_config())
+    reference = FleetAggregator(DEFAULT_COMPRESSION)
+    for index in range(_CONFIG["size"]):
+        if index not in lost:
+            reference.add_session(run_session(population.spec(index)))
+    assert fleet.digest == reference.digest()
