@@ -8,7 +8,7 @@ SMOKE_OUT   := .smoke-out
 SMOKE_CACHE := .smoke-cache
 
 .PHONY: test benchmarks bench-json perf-gate perf-baseline \
-	experiments experiments-smoke faults-smoke \
+	experiments experiments-smoke faults-smoke remote-smoke \
 	obs-smoke obs-overhead fleet-smoke chaos-smoke chaos-stress \
 	docs-check verify-integrity golden-check golden-update verify clean
 
@@ -25,6 +25,7 @@ bench-json:
 	$(PYTHON) -m pytest benchmarks/test_simulator_perf.py \
 		benchmarks/test_fastforward.py \
 		benchmarks/test_fleet_scale.py \
+		benchmarks/test_remote_transport.py \
 		--benchmark-only --benchmark-json=.bench-raw.json -q
 	$(PYTHON) -m repro.perfgate collect .bench-raw.json -o .bench-current.json
 
@@ -81,6 +82,45 @@ faults-smoke:
 	assert entry['faults']['total'] > 0, entry; \
 	print('faults manifest ok: %d injections across %s' % \
 	      (entry['faults']['total'], sorted(entry['faults']['by_os'])))"
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+
+# CI gate for the remote-interaction subsystem: the lossy-link
+# transport schedule must replay byte-identically, a network fault
+# scenario must compose with the configured link, a traced remote
+# session must emit a structurally valid (Perfetto-loadable) trace
+# with the per-direction net tracks present, and an archived
+# ext-remote run must pass every frontier shape check.
+remote-smoke:
+	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
+	$(PYTHON) -c "\
+	from repro.obs import observed, chrome_trace, validate_chrome_trace; \
+	from repro.remote import LinkConfig, TransportConfig, run_remote_session; \
+	link = LinkConfig.symmetric('smoke', rtt_ms=60.0, jitter_ms=4.0, loss=0.25); \
+	runs = [run_remote_session('nt40', 0, link, TransportConfig(), chars=12) for _ in range(2)]; \
+	assert runs[0].schedule_digest == runs[1].schedule_digest, 'schedule not byte-identical'; \
+	assert runs[0].channel['retransmits'] > 0, runs[0].channel; \
+	degraded = run_remote_session('nt40', 0, link, TransportConfig(), chars=12, scenario='net-congest'); \
+	assert degraded.schedule_digest != runs[0].schedule_digest, 'scenario did not compose'; \
+	session_ctx = observed(trace=True, metrics=True); \
+	session = session_ctx.__enter__(); \
+	run_remote_session('nt40', 0, link, TransportConfig(), chars=12); \
+	trace = chrome_trace(session.tracer, label='remote'); \
+	session_ctx.__exit__(None, None, None); \
+	problems = validate_chrome_trace(trace); \
+	assert not problems, problems[:5]; \
+	assert any('net-' in str(e.get('args', {}).get('name', '')) \
+	           for e in trace['traceEvents'] if e.get('name') == 'thread_name'), \
+	       'net tracks missing from trace'; \
+	print('remote smoke ok: digest %s…, %d retransmits, %d trace events' % \
+	      (runs[0].schedule_digest[:12], runs[0].channel['retransmits'], \
+	       len(trace['traceEvents'])))"
+	$(PYTHON) -m repro.experiments ext-remote --jobs 1 \
+		--save $(SMOKE_OUT) --cache-dir $(SMOKE_CACHE) --checks-only
+	$(PYTHON) -c "\
+	from repro.core.serialize import load_json, manifest_from_dict; \
+	m = manifest_from_dict(load_json('$(SMOKE_OUT)/manifest.json')); \
+	assert m['failures'] == 0, m; \
+	print('remote manifest ok: %d experiment(s)' % len(m['experiments']))"
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE)
 
 # CI gate for the observability layer: one cheap experiment with trace
@@ -204,7 +244,7 @@ golden-update:
 # measurement-integrity gate, the observability gates, the fleet and
 # docs gates, then the perf-regression gate.
 verify: test verify-integrity obs-smoke obs-overhead fleet-smoke \
-	chaos-smoke docs-check perf-gate
+	chaos-smoke remote-smoke docs-check perf-gate
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache

@@ -1,0 +1,264 @@
+"""Extension — remote interaction over a lossy link (ROADMAP item 3).
+
+The paper measures local interaction; this extension stretches its
+wait/think methodology across a network.  Keystrokes travel upstream
+through an ARQ transport with an adaptive (Jacobson-style) RTO; frames
+travel back on a fixed cadence with a jitter buffer and a backlog-driven
+degradation ladder.  The sweep reproduces the core tradeoff of the
+remote-rendering literature (Cloete & Holliman): **responsiveness vs.
+frame consistency** —
+
+* prediction OFF: the user waits for the real round trip, so raising
+  loss (more retransmissions, exponential backoff) degrades p95 wait
+  monotonically at fixed RTT;
+* prediction ON: a provisional local echo answers immediately, holding
+  p95 wait flat — and the price is *consistency damage*: corrections of
+  echoes that retransmission ambiguity, abandonment or plain
+  misprediction later invalidated.
+
+Every session also returns a transport-schedule SHA-256; the experiment
+re-runs one cell and asserts the schedules replay byte-identically from
+``(seed, link config)`` alone, and the whole payload is pinned by the
+golden set.
+
+Accepts ``scenario=`` (like ``ext-faults``): a named fault scenario —
+including the network family ``net-loss``/``net-jitter``/``link-flap``/
+``net-congest`` — is injected into every session, composing degradation
+windows with the swept link configs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.report import TextTable
+from ..remote import LinkConfig, TransportConfig, run_remote_session
+from .common import ALL_OS, ExperimentResult
+
+ID = "ext-remote"
+TITLE = "Extension: remote interaction over a lossy link"
+
+#: The swept responsiveness frontier: loss at two fixed RTTs.
+LOSS_GRID = (0.0, 0.12, 0.35)
+RTT_GRID = (30.0, 90.0)
+#: Budget prediction ON must hold p95 wait within, at any loss (ms).
+PREDICTION_BUDGET_MS = 25.0
+#: The congested cell: narrow, jittery, mildly lossy.
+CONGESTED = dict(rtt_ms=60.0, bandwidth_kbps=300.0, jitter_ms=8.0, loss=0.05)
+
+
+def _cell(os_name, seed, rtt, loss, prediction, chars, scenario):
+    link = LinkConfig.symmetric(
+        f"rtt{rtt:g}-loss{loss:g}", rtt_ms=rtt, loss=loss
+    )
+    result = run_remote_session(
+        os_name,
+        seed,
+        link,
+        TransportConfig(prediction=prediction),
+        chars=chars,
+        scenario=scenario,
+    )
+    waits = np.array(result.wait_ms) if result.wait_ms else np.zeros(1)
+    return {
+        "median_ms": round(float(np.median(waits)), 6),
+        "p95_ms": round(float(np.percentile(waits, 95)), 6),
+        "max_ms": round(float(waits.max()), 6),
+        "corrections": result.corrections,
+        "abandoned": result.abandoned,
+        "unresolved": result.unresolved,
+        "consistency_cost": round(result.consistency_cost, 6),
+        "retransmits": result.channel["retransmits"],
+        "rto_backoffs": result.channel["rto_backoffs"],
+        "acked": result.channel["acked"],
+        "sent": result.channel["sent"],
+        "in_flight": result.channel["in_flight"],
+        "late_applies": result.server["late_applies"],
+        "hol_skips": result.server["hol_skips"],
+        "frames_sent": result.server["frames_sent"],
+        "frames_degraded": result.server["frames_degraded"],
+        "frames_coalesced": result.server["frames_coalesced"],
+        "schedule_digest": result.schedule_digest,
+    }
+
+
+def run(
+    seed: int = 0, chars: int = 36, scenario: Optional[str] = None
+) -> ExperimentResult:
+    result = ExperimentResult(id=ID, title=TITLE)
+    table = TextTable(
+        [
+            "system",
+            "rtt ms",
+            "loss",
+            "p95 off",
+            "p95 pred",
+            "corr/char",
+            "rexmit",
+            "abandoned",
+        ],
+        title=f"responsiveness vs. consistency frontier ({chars} keystrokes)",
+    )
+    stats: dict = {}
+    for os_name in ALL_OS:
+        per_os: dict = {}
+        for rtt in RTT_GRID:
+            per_rtt: dict = {"off": {}, "pred": {}}
+            for loss in LOSS_GRID:
+                key = f"loss{loss:g}"
+                per_rtt["off"][key] = _cell(
+                    os_name, seed, rtt, loss, False, chars, scenario
+                )
+                per_rtt["pred"][key] = _cell(
+                    os_name, seed, rtt, loss, True, chars, scenario
+                )
+                table.add_row(
+                    os_name,
+                    f"{rtt:g}",
+                    f"{loss:g}",
+                    per_rtt["off"][key]["p95_ms"],
+                    per_rtt["pred"][key]["p95_ms"],
+                    per_rtt["pred"][key]["consistency_cost"],
+                    per_rtt["off"][key]["retransmits"],
+                    per_rtt["off"][key]["abandoned"],
+                )
+            per_os[f"rtt{rtt:g}"] = per_rtt
+        congested = run_remote_session(
+            os_name,
+            seed,
+            LinkConfig.symmetric("congested", **CONGESTED),
+            TransportConfig(),
+            chars=chars,
+            scenario=scenario,
+        )
+        per_os["congested"] = {
+            "frames_sent": congested.server["frames_sent"],
+            "frames_degraded": congested.server["frames_degraded"],
+            "frames_coalesced": congested.server["frames_coalesced"],
+            "schedule_digest": congested.schedule_digest,
+        }
+        stats[os_name] = per_os
+    result.tables.append(table)
+
+    # Byte-identity: replay the hottest cell and compare schedules.
+    rerun = _cell(ALL_OS[1], seed, RTT_GRID[0], LOSS_GRID[-1], False, chars, scenario)
+    first = stats[ALL_OS[1]][f"rtt{RTT_GRID[0]:g}"]["off"][f"loss{LOSS_GRID[-1]:g}"]
+    stats["determinism"] = {
+        "digest_a": first["schedule_digest"],
+        "digest_b": rerun["schedule_digest"],
+    }
+    result.data = stats
+
+    result.check(
+        "retransmission/degradation schedule replays byte-identically",
+        rerun["schedule_digest"] == first["schedule_digest"]
+        and rerun == first,
+        f"sha256 {first['schedule_digest'][:16]}… twice",
+    )
+    monotone = all(
+        stats[os_name][f"rtt{rtt:g}"]["off"][f"loss{a:g}"]["p95_ms"]
+        < stats[os_name][f"rtt{rtt:g}"]["off"][f"loss{b:g}"]["p95_ms"]
+        for os_name in ALL_OS
+        for rtt in RTT_GRID
+        for a, b in zip(LOSS_GRID, LOSS_GRID[1:])
+    )
+    result.check(
+        "prediction OFF: p95 wait degrades monotonically with loss at fixed RTT",
+        monotone,
+        ", ".join(
+            f"{os_name}@rtt{rtt:g}: "
+            + "→".join(
+                f"{stats[os_name][f'rtt{rtt:g}']['off'][f'loss{l:g}']['p95_ms']:.0f}"
+                for l in LOSS_GRID
+            )
+            + " ms"
+            for os_name in ALL_OS
+            for rtt in RTT_GRID
+        ),
+    )
+    budget_held = all(
+        stats[os_name][f"rtt{rtt:g}"]["pred"][f"loss{loss:g}"]["p95_ms"]
+        < PREDICTION_BUDGET_MS
+        for os_name in ALL_OS
+        for rtt in RTT_GRID
+        for loss in LOSS_GRID
+    )
+    result.check(
+        f"prediction ON holds p95 wait under {PREDICTION_BUDGET_MS:g} ms at every loss",
+        budget_held,
+        ", ".join(
+            f"{os_name}: max "
+            f"{max(stats[os_name][f'rtt{rtt:g}']['pred'][f'loss{l:g}']['p95_ms'] for rtt in RTT_GRID for l in LOSS_GRID):.1f} ms"
+            for os_name in ALL_OS
+        ),
+    )
+    cost_rises = all(
+        stats[os_name][f"rtt{rtt:g}"]["pred"][f"loss{LOSS_GRID[-1]:g}"][
+            "consistency_cost"
+        ]
+        > stats[os_name][f"rtt{rtt:g}"]["pred"][f"loss{LOSS_GRID[0]:g}"][
+            "consistency_cost"
+        ]
+        for os_name in ALL_OS
+        for rtt in RTT_GRID
+    )
+    result.check(
+        "prediction's price: consistency damage rises with loss",
+        cost_rises,
+        ", ".join(
+            f"{os_name}@rtt{rtt:g}: "
+            f"{stats[os_name][f'rtt{rtt:g}']['pred'][f'loss{LOSS_GRID[0]:g}']['consistency_cost']:.3f}"
+            f"→{stats[os_name][f'rtt{rtt:g}']['pred'][f'loss{LOSS_GRID[-1]:g}']['consistency_cost']:.3f}"
+            for os_name in ALL_OS
+            for rtt in RTT_GRID
+        ),
+    )
+    result.check(
+        "frame pipeline degrades gracefully under congestion",
+        all(
+            stats[os_name]["congested"]["frames_degraded"]
+            + stats[os_name]["congested"]["frames_coalesced"]
+            > 0
+            for os_name in ALL_OS
+        ),
+        ", ".join(
+            f"{os_name}: {stats[os_name]['congested']['frames_degraded']} degraded, "
+            f"{stats[os_name]['congested']['frames_coalesced']} coalesced"
+            for os_name in ALL_OS
+        ),
+    )
+    accounted = all(
+        cell["acked"] + cell["abandoned"] + cell["in_flight"]
+        == cell["sent"]
+        == chars
+        for os_name in ALL_OS
+        for rtt in RTT_GRID
+        for mode in ("off", "pred")
+        for l in LOSS_GRID
+        for cell in [stats[os_name][f"rtt{rtt:g}"][mode][f"loss{l:g}"]]
+    )
+    result.check(
+        "ARQ accounts for every input (acked + abandoned + in-flight == sent)",
+        accounted,
+        f"{chars} inputs per cell across {len(ALL_OS) * len(RTT_GRID) * 2 * len(LOSS_GRID)} cells",
+    )
+    retransmission_works = all(
+        stats[os_name][f"rtt{rtt:g}"]["off"][f"loss{l:g}"]["retransmits"] > 0
+        for os_name in ALL_OS
+        for rtt in RTT_GRID
+        for l in LOSS_GRID[1:]
+    )
+    result.check(
+        "lossy cells exercise ARQ retransmission and RTO backoff",
+        retransmission_works,
+        ", ".join(
+            f"{os_name}@rtt{rtt:g}/loss{LOSS_GRID[-1]:g}: "
+            f"{stats[os_name][f'rtt{rtt:g}']['off'][f'loss{LOSS_GRID[-1]:g}']['retransmits']} rexmit, "
+            f"{stats[os_name][f'rtt{rtt:g}']['off'][f'loss{LOSS_GRID[-1]:g}']['rto_backoffs']} backoffs"
+            for os_name in ALL_OS
+            for rtt in RTT_GRID
+        ),
+    )
+    return result

@@ -32,6 +32,7 @@ from . import (
     ext_fleet,
     ext_network,
     ext_refresh,
+    ext_remote,
     fig01_validation,
     fig02_fsm,
     fig03_idle_profiles,
@@ -80,6 +81,7 @@ _MODULES = [
     ext_decompose,
     ext_faults,
     ext_fleet,
+    ext_remote,
 ]
 
 #: id -> ``run(seed=...)`` callable, in the paper's presentation order.

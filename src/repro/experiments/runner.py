@@ -435,6 +435,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--packets",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "burst size for packet-driven experiments (ext-network); "
+            "enters the cache variant like --scenario, so different "
+            "burst sizes never serve each other's cached results"
+        ),
+    )
+    parser.add_argument(
         "--chaos",
         metavar="NAME",
         default=None,
@@ -554,6 +565,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"--checkpoint-interval must be >= 1, got {args.checkpoint_interval}"
         )
         return 2
+    if args.packets is not None and args.packets < 1:
+        log.error(f"--packets must be >= 1, got {args.packets}")
+        return 2
     if args.scenario is not None:
         from ..faults import scenario_names
 
@@ -609,9 +623,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if scenario is None:
         scenario = resume_kwargs.get("scenario")
     chaos = args.chaos if args.chaos is not None else resume_kwargs.get("chaos")
+    packets = (
+        args.packets if args.packets is not None else resume_kwargs.get("packets")
+    )
     run_kwargs: Optional[dict] = {}
     if scenario:
         run_kwargs["scenario"] = scenario
+    if packets:
+        run_kwargs["packets"] = int(packets)
     if chaos:
         # Chaos-aware experiments (ext-fleet) take the plan name and
         # seed as run kwargs; both enter the cache variant, so chaotic

@@ -247,6 +247,54 @@ class FaultInjector:
         self._arrivals(fault, stream, fire, default_period_ms=30.0)
 
     # ------------------------------------------------------------------
+    # link-degrade: loss/jitter/bandwidth/flap windows on the remote link
+    # ------------------------------------------------------------------
+    def _install_link_degrade(self, fault: FaultSpec, stream) -> None:
+        """Degrade ``system.remote_link`` over the fault's window.
+
+        Harmlessly no-ops on systems without a remote link (the probe
+        matrix runs every scenario against plain local systems), and the
+        stream is still created by :meth:`install`, so adding a remote
+        link never perturbs other faults' draws.
+        """
+        loss_add = float(fault.param("loss_add", 0.0))
+        jitter_add_ms = float(fault.param("jitter_add_ms", 0.0))
+        bandwidth_factor = float(fault.param("bandwidth_factor", 1.0))
+        flap_period_ms = float(fault.param("flap_period_ms", 0.0))
+        flap_down_ms = float(fault.param("flap_down_ms", 0.0))
+        start_ns, end_ns = self._window(fault)
+        state = {"token": None, "flapped": False}
+
+        def apply() -> None:
+            link = getattr(self.system, "remote_link", None)
+            if link is None:
+                return
+            self.counts[fault.name] += 1
+            self._notify_obs(fault)
+            state["token"] = link.degrade(
+                loss_add=loss_add,
+                jitter_add_ms=jitter_add_ms,
+                bandwidth_factor=bandwidth_factor,
+            )
+            if flap_period_ms > 0.0:
+                link.set_flap(flap_period_ms, flap_down_ms)
+                state["flapped"] = True
+
+        def restore() -> None:
+            link = getattr(self.system, "remote_link", None)
+            if link is None or state["token"] is None:
+                return
+            link.restore(state["token"])
+            state["token"] = None
+            if state["flapped"]:
+                link.clear_flap()
+                state["flapped"] = False
+
+        self.sim.schedule_at(start_ns, apply, label=f"fault:{fault.name}:on")
+        if end_ns is not None:
+            self.sim.schedule_at(end_ns, restore, label=f"fault:{fault.name}:off")
+
+    # ------------------------------------------------------------------
     # Evidence
     # ------------------------------------------------------------------
     def total_injections(self) -> int:

@@ -25,13 +25,14 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 
-#: The five perturbation sources, one per layer of the machine.
+#: The perturbation sources, one per layer of the machine.
 FAULT_KINDS = (
     "disk-stall",  # service-time spikes on the disk (devices/disk.py)
     "irq-storm",  # spurious interrupt bursts (sim/interrupts.py)
     "queue-pressure",  # junk posts + finite queue capacity (winsys/messages.py)
     "sched-jitter",  # preemption requeue demotion (winsys/scheduler.py)
     "memory-pressure",  # TLB-flush/miss storms stealing CPU (sim/perf.py)
+    "link-degrade",  # lossy-link loss/jitter/bandwidth/flap windows (remote/link.py)
 )
 
 

@@ -2,9 +2,12 @@
 
 Each scenario is a :class:`~repro.faults.plan.FaultPlan` built fresh per
 call (plans are immutable, but callers may still want distinct
-instances).  Five single-kind scenarios stress one layer each; the
-composite ``degraded`` scenario stacks all five, and ``smoke`` is a tiny
-fast plan for CI (``make faults-smoke``).
+instances).  The single-kind scenarios stress one layer each — including
+the network-degradation family (``net-loss``, ``net-jitter``,
+``link-flap``, ``net-congest``) that targets ``system.remote_link`` and
+no-ops harmlessly on local-only systems; the composite ``degraded``
+scenario stacks every kind, and ``smoke`` is a tiny fast plan for CI
+(``make faults-smoke``).
 
 Windows are in simulated milliseconds.  The single-kind scenarios keep
 faults inside the first ~2.5 s of the run — comfortably covering the
@@ -108,8 +111,72 @@ def _memory_pressure() -> FaultPlan:
     )
 
 
+def _net_loss() -> FaultPlan:
+    """Heavy packet loss on the remote link (no-op without one)."""
+    return FaultPlan(
+        "net-loss",
+        (
+            FaultSpec.make(
+                "loss-window",
+                "link-degrade",
+                {"loss_add": 0.25},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _net_jitter() -> FaultPlan:
+    """Delay variance: extra uniform jitter on every surviving packet."""
+    return FaultPlan(
+        "net-jitter",
+        (
+            FaultSpec.make(
+                "jitter-window",
+                "link-degrade",
+                {"jitter_add_ms": 40.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _link_flap() -> FaultPlan:
+    """The link goes dark 120 ms out of every 800 ms."""
+    return FaultPlan(
+        "link-flap",
+        (
+            FaultSpec.make(
+                "flap-window",
+                "link-degrade",
+                {"flap_period_ms": 800.0, "flap_down_ms": 120.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
+def _net_congest() -> FaultPlan:
+    """Congestion: bandwidth collapses to a quarter, mild loss + jitter."""
+    return FaultPlan(
+        "net-congest",
+        (
+            FaultSpec.make(
+                "congest-window",
+                "link-degrade",
+                {"bandwidth_factor": 0.25, "loss_add": 0.05, "jitter_add_ms": 15.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+        ),
+    )
+
+
 def _degraded() -> FaultPlan:
-    """All five perturbation sources at once — the ext-faults workhorse."""
+    """Every perturbation source at once — the ext-faults workhorse."""
     return FaultPlan(
         "degraded",
         (
@@ -145,6 +212,13 @@ def _degraded() -> FaultPlan:
                 "memory",
                 "memory-pressure",
                 {"mean_period_ms": 35.0, "cost_us": 150.0},
+                start_ms=10.0,
+                end_ms=2500.0,
+            ),
+            FaultSpec.make(
+                "link",
+                "link-degrade",
+                {"loss_add": 0.1, "jitter_add_ms": 20.0},
                 start_ms=10.0,
                 end_ms=2500.0,
             ),
@@ -188,6 +262,10 @@ SCENARIOS: Dict[str, Callable[[], FaultPlan]] = {
     "queue-pressure": _queue_pressure,
     "sched-jitter": _sched_jitter,
     "memory-pressure": _memory_pressure,
+    "net-loss": _net_loss,
+    "net-jitter": _net_jitter,
+    "link-flap": _link_flap,
+    "net-congest": _net_congest,
     "degraded": _degraded,
     "smoke": _smoke,
 }

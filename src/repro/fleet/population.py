@@ -59,6 +59,16 @@ APP_PROFILES: Dict[str, dict] = {
         "draw_pixels": 200,
         "autosave_every": 0,
     },
+    # Thin client on a lossy WAN: keystrokes ride the resilient remote
+    # transport (:mod:`repro.remote`) instead of the local pipeline, so
+    # the wait distribution is dominated by the link, not the app.
+    "remote": {
+        "remote": True,
+        "rtt_ms": 60.0,
+        "jitter_ms": 3.0,
+        "loss": 0.08,
+        "prediction": False,
+    },
 }
 
 
@@ -115,7 +125,12 @@ class PopulationConfig:
         default_factory=lambda: {"nt351": 1.0, "nt40": 1.0, "win95": 1.0}
     )
     profile_mix: Mapping[str, float] = field(
-        default_factory=lambda: {"editor": 2.0, "ide": 1.0, "terminal": 1.0}
+        default_factory=lambda: {
+            "editor": 2.0,
+            "ide": 1.0,
+            "terminal": 1.0,
+            "remote": 1.0,
+        }
     )
     #: scenario name -> weight; the empty string means healthy.
     scenario_mix: Mapping[str, float] = field(
@@ -236,7 +251,11 @@ class SessionPopulation:
             raise IndexError(
                 f"session index {index} out of range [0, {self.config.size})"
             )
-        rng = self._rngs.stream(f"session:{index}")
+        # ``fresh`` (not ``stream``): a cached stream's state advances
+        # across calls, so spec(i) materialized twice on one population
+        # object would silently differ — the exact nondeterminism this
+        # module promises can never happen.
+        rng = self._rngs.fresh(f"session:{index}")
         config = self.config
         os_name = _pick(self._os_choices, rng.random())
         profile = _pick(self._profile_choices, rng.random())

@@ -111,6 +111,54 @@ class SessionResult:
         }
 
 
+def _run_remote_session(spec: SessionSpec, profile: dict) -> SessionResult:
+    """Remote-profile sessions: the wait is the network's, not the app's.
+
+    Keystrokes travel through the resilient transport of
+    :mod:`repro.remote`; the resulting per-keystroke waits (frame-echo
+    round trips, retransmission stalls, give-ups) fold into the fleet
+    sketches exactly like local waits.  ``sync_io_wait`` is zero by
+    construction — a thin client does no local autosave I/O.
+    """
+    from ..remote import LinkConfig, RemoteSession, TransportConfig
+
+    system = boot(spec.os_name, seed=spec.seed)
+    link = LinkConfig.symmetric(
+        "fleet-remote",
+        rtt_ms=profile["rtt_ms"],
+        jitter_ms=profile["jitter_ms"],
+        loss=profile["loss"],
+    )
+    session = RemoteSession(
+        system,
+        link,
+        transport=TransportConfig(prediction=profile["prediction"]),
+        scenario=spec.scenario,
+    )
+    base_gap_ms = max(_MIN_KEYSTROKE_MS, 60_000.0 / (spec.wpm * 5.0))
+    remote = session.run(chars=spec.chars, cadence_ms=base_gap_ms)
+    keystroke_wait_ms = float(sum(remote.wait_ms))
+    return SessionResult(
+        index=spec.index,
+        os_name=spec.os_name,
+        profile=spec.profile,
+        scenario=spec.scenario,
+        wait_ms=[float(w) for w in remote.wait_ms],
+        span_ms=remote.span_ms,
+        stage_ms={
+            "keystroke_wait": keystroke_wait_ms,
+            "other_event_wait": 0.0,
+            "sync_io_wait": 0.0,
+            "session_span": remote.span_ms,
+        },
+        faults_injected=(
+            session.injector.summary()["total"]
+            if session.injector is not None
+            else 0
+        ),
+    )
+
+
 def run_session(spec: SessionSpec) -> SessionResult:
     """Run and measure one session; deterministic in ``spec`` alone.
 
@@ -119,6 +167,8 @@ def run_session(spec: SessionSpec) -> SessionResult:
     with equal specs return equal results — the property batch caching
     and the shard-permutation determinism test rely on.
     """
+    if APP_PROFILES[spec.profile].get("remote"):
+        return _run_remote_session(spec, APP_PROFILES[spec.profile])
     system = boot(spec.os_name, seed=spec.seed)
     app = FleetSessionApp(system, APP_PROFILES[spec.profile])
     app.start(foreground=True)

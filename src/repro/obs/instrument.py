@@ -145,6 +145,37 @@ class SystemInstrumentation:
             "repro_sim_calendar_compactions",
             "Lazy-deletion compactions performed by the event calendar.",
         )
+        self._remote_packets = registry.counter(
+            "repro_remote_packets_total",
+            "Lossy-link packets offered, by direction and outcome.",
+        )
+        self._remote_retransmits = registry.counter(
+            "repro_remote_retransmits_total",
+            "ARQ retransmissions of remote input events.",
+        )
+        self._remote_give_ups = registry.counter(
+            "repro_remote_give_ups_total",
+            "Remote inputs abandoned after the retry cap.",
+        )
+        self._remote_frames = registry.counter(
+            "repro_remote_frames_total",
+            "Remote frame-pipeline decisions, by outcome.",
+        )
+        self._remote_predictions = registry.counter(
+            "repro_remote_predictions_total",
+            "Client-side prediction reconciliations, by outcome.",
+        )
+        self._remote_rto = registry.gauge(
+            "repro_remote_rto_ms_high_water",
+            "Maximum adaptive retransmission timeout reached (ms).",
+        )
+        self._remote_backlog = registry.gauge(
+            "repro_remote_link_backlog_ms_high_water",
+            "Maximum lossy-link serialization backlog observed (ms).",
+        )
+        #: direction -> trace track id for link-busy spans (lazy; only
+        #: remote sessions allocate them).
+        self._net_tracks: Dict[str, int] = {}
         session.add_flush(self.flush_calendar_stats)
 
     # ------------------------------------------------------------------
@@ -259,6 +290,76 @@ class SystemInstrumentation:
             args={"kind": kind},
         )
         self._faults.inc(fault=name, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Remote interaction (lossy link + resilient transport)
+    # ------------------------------------------------------------------
+    def _net_track(self, name: str) -> int:
+        """Lazily allocate a named network track (``net-up``/``net-down``
+        serialization spans, ``net-events`` packet instants)."""
+        track = self._net_tracks.get(name)
+        if track is None:
+            track = self.tracer.register_thread(
+                self.pid, name, tid=self._next_thread_track
+            )
+            self._next_thread_track = track + 1
+            self._net_tracks[name] = track
+        return track
+
+    def remote_packet(self, direction: str, outcome: str, size_bytes: int) -> None:
+        self.tracer.instant(
+            f"pkt:{direction}:{outcome}",
+            self.pid,
+            self._net_track("net-events"),
+            self._sim.now,
+            category="net",
+            args={"size_bytes": size_bytes},
+        )
+        self._remote_packets.inc(os=self.os, direction=direction, outcome=outcome)
+
+    def remote_link_busy(self, direction: str, start_ns: int, end_ns: int) -> None:
+        # Serialization is strictly sequential per direction (each start
+        # is >= the previous end), so the span pair stays monotone.
+        track = self._net_track(f"net-{direction}")
+        self.tracer.begin(
+            f"serialize:{direction}", self.pid, track, start_ns, category="net"
+        )
+        self.tracer.end(self.pid, track, end_ns)
+
+    def remote_backlog(self, direction: str, backlog_ns: int) -> None:
+        self._remote_backlog.set_max(
+            backlog_ns / 1e6, os=self.os, direction=direction
+        )
+
+    def remote_retransmit(self, seq: int, attempt: int, rto_ns: int) -> None:
+        self.tracer.instant(
+            f"rexmit:{seq}",
+            self.pid,
+            self._net_track("net-events"),
+            self._sim.now,
+            category="net",
+            args={"attempt": attempt, "rto_ms": rto_ns / 1e6},
+        )
+        self._remote_retransmits.inc(os=self.os)
+        self._remote_rto.set_max(rto_ns / 1e6, os=self.os)
+
+    def remote_give_up(self, seq: int) -> None:
+        self.tracer.instant(
+            f"give-up:{seq}",
+            self.pid,
+            self._net_track("net-events"),
+            self._sim.now,
+            category="net",
+        )
+        self._remote_give_ups.inc(os=self.os)
+
+    def remote_frame(self, outcome: str) -> None:
+        self._remote_frames.inc(os=self.os, outcome=outcome)
+
+    def remote_prediction(self, hit: bool) -> None:
+        self._remote_predictions.inc(
+            os=self.os, outcome="hit" if hit else "correction"
+        )
 
     # ------------------------------------------------------------------
     # Messages and app events (per-thread tracks)

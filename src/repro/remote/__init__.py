@@ -1,0 +1,46 @@
+"""Remote interaction over a lossy link (ROADMAP item 3).
+
+Deterministic lossy-link model, resilient ARQ transport with adaptive
+RTO, frame pipeline with graceful degradation, and the client/server
+session harness that measures remote wait time with the paper's
+methodology.  See ``docs/remote-interaction.md``.
+"""
+
+from .link import DIRECTIONS, DirectionConfig, LinkConfig, LossyLink
+from .session import (
+    RemoteServer,
+    RemoteSession,
+    RemoteSessionResult,
+    RemoteViewerApp,
+    run_remote_session,
+)
+from .transport import (
+    AckPacket,
+    FramePacket,
+    InputChannel,
+    InputPacket,
+    RtoEstimator,
+    SkipPacket,
+    TransportConfig,
+    TransportLog,
+)
+
+__all__ = [
+    "DIRECTIONS",
+    "DirectionConfig",
+    "LinkConfig",
+    "LossyLink",
+    "AckPacket",
+    "FramePacket",
+    "InputChannel",
+    "InputPacket",
+    "RtoEstimator",
+    "SkipPacket",
+    "TransportConfig",
+    "TransportLog",
+    "RemoteServer",
+    "RemoteSession",
+    "RemoteSessionResult",
+    "RemoteViewerApp",
+    "run_remote_session",
+]

@@ -37,6 +37,20 @@ class RngStreams:
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
+    def fresh(self, name: str) -> random.Random:
+        """A new stream for ``name``, rewound to its first draw.
+
+        Unlike :meth:`stream`, the result is never cached: every call
+        replays the identical sequence from the start.  Use this where
+        the *call itself* must be a pure function of ``(master_seed,
+        name)`` — e.g. materializing fleet session specs by index,
+        which may happen any number of times across shards.
+        """
+        digest = hashlib.sha256(
+            f"{self.master_seed}:{name}".encode("utf-8")
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
     def fork(self, name: str) -> "RngStreams":
         """Derive a child factory whose streams are disjoint from the parent's."""
         digest = hashlib.sha256(

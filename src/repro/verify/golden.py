@@ -40,12 +40,15 @@ __all__ = [
 ]
 
 #: Canonical (experiment_id, seed) pairs pinned by the golden check —
-#: the cheapest figure experiments, one per major pipeline path
-#: (idle-loop elongation, wait/think FSM, event extraction).
+#: cheap experiments, one per major pipeline path (idle-loop
+#: elongation, wait/think FSM, event extraction, NIC event class, and
+#: the remote lossy-link transport schedule).
 GOLDEN_SET: Tuple[Tuple[str, int], ...] = (
     ("fig1", 0),
     ("fig2", 0),
     ("fig4", 0),
+    ("ext-network", 0),
+    ("ext-remote", 0),
 )
 
 _FORMAT_VERSION = 1

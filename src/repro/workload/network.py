@@ -36,12 +36,24 @@ class PacketSource:
         self._rng = system.machine.rngs.stream(rng_name)
         self.packets_sent = 0
         self._remaining = 0
-        self.finished = False
+        # No burst in flight yet: a fresh source is trivially finished,
+        # so send_burst below can treat ``not finished`` as "overlap".
+        self.finished = True
 
     def send_burst(self, count: int, start_ns: Optional[int] = None) -> None:
-        """Deliver ``count`` packets with exponential interarrivals."""
+        """Deliver ``count`` packets with exponential interarrivals.
+
+        Raises :class:`RuntimeError` if a previous burst is still in
+        flight — silently overwriting ``_remaining`` used to truncate
+        the earlier burst while leaving its delivery chain scheduled.
+        """
         if count <= 0:
             raise ValueError("count must be positive")
+        if not self.finished:
+            raise RuntimeError(
+                "send_burst called while a burst is in flight; wait for "
+                "run_to_completion() (or the finished flag) first"
+            )
         self._remaining = count
         self.finished = False
         at = start_ns if start_ns is not None else self.system.now + ns_from_ms(10)

@@ -201,6 +201,9 @@ _KIND_PARAMS = {
     "queue-pressure": {"burst": 3, "mean_period_ms": 25.0},
     "sched-jitter": {"probability": 0.5},
     "memory-pressure": {"mean_period_ms": 20.0},
+    # No remote link on the probe system: the apply/restore pair must
+    # no-op without perturbing the byte-identical archive.
+    "link-degrade": {"loss_add": 0.2, "jitter_add_ms": 10.0},
 }
 
 

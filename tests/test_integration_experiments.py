@@ -23,6 +23,7 @@ FAST_EXPERIMENTS = [
     "ext-network",
     "ext-decompose",
     "ext-faults",
+    "ext-remote",
 ]
 
 
@@ -40,7 +41,7 @@ def test_registry_complete():
         "fig9", "fig10", "fig11", "fig12", "table1", "table2", "sec25",
         "sec54", "ablation-idle-n", "ablation-batching", "ablation-merge",
         "ext-refresh", "ext-network", "ext-decompose", "ext-faults",
-        "ext-fleet", "sec5-repeat",
+        "ext-fleet", "ext-remote", "sec5-repeat",
     }
     assert set(EXPERIMENTS) == expected
 

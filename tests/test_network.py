@@ -97,6 +97,33 @@ class TestPacketSource:
         with pytest.raises(ValueError):
             PacketSource(nt40).send_burst(0)
 
+    def test_overlapping_burst_raises(self, nt40):
+        """A second burst may not clobber one still in flight: the old
+        ``_remaining`` overwrite silently truncated the first burst."""
+        app = TerminalApp(nt40)
+        app.start()
+        nt40.run_for(ns_from_ms(5))
+        source = PacketSource(nt40, mean_interarrival_ms=20.0)
+        source.send_burst(10)
+        assert not source.finished
+        with pytest.raises(RuntimeError):
+            source.send_burst(5)
+        # The original burst is intact and completes in full.
+        source.run_to_completion()
+        assert source.packets_sent == 10
+
+    def test_sequential_bursts_allowed(self, nt40):
+        app = TerminalApp(nt40)
+        app.start()
+        nt40.run_for(ns_from_ms(5))
+        source = PacketSource(nt40, mean_interarrival_ms=20.0)
+        source.send_burst(4)
+        source.run_to_completion()
+        source.send_burst(3)
+        source.run_to_completion()
+        assert source.packets_sent == 7
+        assert source.finished
+
 
 class TestTerminalApp:
     def test_scroll_every_screenful(self, nt40):

@@ -1,0 +1,113 @@
+"""End-to-end tests for remote sessions and their fleet integration."""
+
+import pytest
+
+from repro.remote import LinkConfig, TransportConfig, run_remote_session
+
+
+def _session(os_name="nt40", seed=3, loss=0.0, prediction=False, **kwargs):
+    link = LinkConfig.symmetric("test", rtt_ms=60.0, loss=loss)
+    return run_remote_session(
+        os_name,
+        seed,
+        link,
+        TransportConfig(prediction=prediction),
+        chars=kwargs.pop("chars", 12),
+        **kwargs,
+    )
+
+
+class TestRemoteSession:
+    def test_clean_link_resolves_every_keystroke(self):
+        result = _session()
+        assert len(result.wait_ms) == 12
+        assert result.unresolved == 0
+        assert result.abandoned == 0
+        assert result.channel["acked"] == 12
+        # Every wait covers at least the round trip.
+        assert min(result.wait_ms) > 60.0
+
+    def test_schedule_replays_byte_identically(self):
+        a = _session(loss=0.3)
+        b = _session(loss=0.3)
+        assert a.schedule_digest == b.schedule_digest
+        assert a.to_dict() == b.to_dict()
+
+    def test_loss_inflates_waits(self):
+        clean = _session(seed=3)
+        lossy = _session(seed=3, loss=0.35)
+        assert max(lossy.wait_ms) > max(clean.wait_ms)
+        assert lossy.channel["retransmits"] > 0
+
+    def test_prediction_decouples_wait_from_loss(self):
+        lossy = _session(seed=3, loss=0.35, prediction=True)
+        # Provisional echo: waits are local-pipeline-sized despite loss.
+        assert max(lossy.wait_ms) < 30.0
+        assert lossy.predictions == 12
+        assert lossy.corrections > 0
+
+    def test_arq_accounting_identity(self):
+        for loss in (0.0, 0.35):
+            result = _session(seed=9, loss=loss)
+            channel = result.channel
+            assert (
+                channel["acked"] + channel["abandoned"] + channel["in_flight"]
+                == channel["sent"]
+            )
+
+    def test_scenario_composes(self):
+        healthy = _session(seed=3)
+        degraded = _session(seed=3, scenario="net-loss")
+        assert degraded.schedule_digest != healthy.schedule_digest
+        # The scenario's loss window forces retransmissions the healthy
+        # run never needed.
+        assert degraded.channel["retransmits"] > healthy.channel["retransmits"]
+
+    def test_flapping_link_still_converges(self):
+        link = LinkConfig.symmetric(
+            "flappy", rtt_ms=50.0, flap_period_ms=400.0, flap_down_ms=80.0
+        )
+        result = run_remote_session("nt40", 3, link, TransportConfig(), chars=12)
+        flapped = result.link["flapped"]
+        assert flapped["up"] + flapped["down"] > 0
+        assert result.channel["acked"] > 0
+
+
+class TestFleetRemoteProfile:
+    def test_remote_profile_in_default_mix(self):
+        from repro.fleet.population import APP_PROFILES, PopulationConfig
+
+        assert "remote" in APP_PROFILES
+        assert "remote" in PopulationConfig().profile_mix
+
+    def test_remote_session_result_shape(self):
+        from repro.fleet.population import PopulationConfig, SessionPopulation
+        from repro.fleet.session import run_session
+
+        population = SessionPopulation(PopulationConfig(seed=3, size=40))
+        spec = next(s for s in population if s.profile == "remote")
+        result = run_session(spec)
+        assert result.profile == "remote"
+        assert result.wait_ms and result.span_ms > 0
+        assert result.stage_ms["sync_io_wait"] == 0.0
+        assert result.stage_ms["keystroke_wait"] == pytest.approx(
+            sum(result.wait_ms)
+        )
+        assert result.to_dict() == run_session(spec).to_dict()
+
+    def test_merged_digest_identical_across_shard_shapes(self):
+        """The satellite guarantee: remote sessions in the population
+        must not perturb the shard-shape invariance of the fleet digest."""
+        from repro.fleet.population import PopulationConfig
+        from repro.fleet.shards import run_fleet
+
+        config = PopulationConfig(
+            seed=11,
+            size=12,
+            profile_mix={"remote": 2.0, "editor": 1.0},
+            chars_range=(4, 6),
+        )
+        a = run_fleet(config, shards=1, batch_size=12)
+        b = run_fleet(config, shards=3, batch_size=2)
+        assert a.digest == b.digest
+        assert a.sessions_completed == b.sessions_completed == 12

@@ -1,0 +1,172 @@
+"""Unit tests for the ARQ input channel and adaptive RTO estimator."""
+
+import pytest
+
+from repro.remote.link import LinkConfig, LossyLink
+from repro.remote.transport import (
+    AckPacket,
+    InputChannel,
+    InputPacket,
+    RtoEstimator,
+    SkipPacket,
+    TransportConfig,
+    TransportLog,
+)
+from repro.sim.timebase import ns_from_ms
+
+
+class TestRtoEstimator:
+    def test_initial_rto_is_configured(self):
+        estimator = RtoEstimator(TransportConfig())
+        assert estimator.rto_ns() == ns_from_ms(150.0)
+
+    def test_first_sample_seeds_srtt(self):
+        estimator = RtoEstimator(TransportConfig())
+        estimator.sample(ns_from_ms(40))
+        assert estimator.srtt_ns == ns_from_ms(40)
+        assert estimator.rttvar_ns == ns_from_ms(20)
+
+    def test_converges_to_stable_rtt(self):
+        estimator = RtoEstimator(TransportConfig())
+        for _ in range(50):
+            estimator.sample(ns_from_ms(40))
+        # RTTVAR decays toward zero on a steady link, so RTO approaches
+        # srtt + margin (clamped at the floor).
+        assert estimator.srtt_ns == pytest.approx(ns_from_ms(40), rel=0.01)
+        assert estimator.rto_ns() <= ns_from_ms(80)
+
+    def test_rto_respects_floor_and_ceiling(self):
+        config = TransportConfig(rto_min_ms=60.0, rto_max_ms=300.0)
+        estimator = RtoEstimator(config)
+        estimator.sample(ns_from_ms(1))
+        assert estimator.rto_ns() >= ns_from_ms(60.0)
+        for _ in range(10):
+            estimator.on_timeout()
+        assert estimator.rto_ns() == ns_from_ms(300.0)
+
+    def test_backoff_doubles_and_resets(self):
+        estimator = RtoEstimator(TransportConfig(rto_max_ms=100_000.0))
+        base = estimator.rto_ns()
+        estimator.on_timeout()
+        assert estimator.backoff == 2
+        assert estimator.rto_ns() == 2 * base
+        estimator.on_timeout()
+        assert estimator.rto_ns() == 4 * base
+        estimator.sample(ns_from_ms(40))  # clean sample ends the regime
+        assert estimator.backoff == 1
+
+    def test_backoff_caps_at_64(self):
+        estimator = RtoEstimator(TransportConfig())
+        for _ in range(20):
+            estimator.on_timeout()
+        assert estimator.backoff == 64
+
+
+def _channel(system, loss=0.0, **transport_kwargs):
+    """An InputChannel echoed by a trivial always-ack server."""
+    config = TransportConfig(**transport_kwargs)
+    log = TransportLog()
+    link = LossyLink(system, LinkConfig.symmetric("t", rtt_ms=40.0, loss=loss))
+    channel = {}
+
+    def server_deliver(packet):
+        if isinstance(packet, SkipPacket):
+            return
+        assert isinstance(packet, InputPacket)
+        link.send(
+            "down",
+            config.ack_bytes,
+            lambda seq=packet.seq: channel["channel"].on_ack(AckPacket(seq)),
+            label=f"ack:{packet.seq}",
+        )
+
+    channel["channel"] = InputChannel(link, config, server_deliver, log)
+    return channel["channel"], log
+
+
+class TestInputChannel:
+    def test_clean_link_acks_everything(self, nt40):
+        channel, log = _channel(nt40)
+        for char in "abcdef":
+            channel.send(char)
+            nt40.run_for(ns_from_ms(100))
+        counters = channel.counters()
+        assert counters["acked"] == counters["sent"] == 6
+        assert counters["retransmits"] == 0
+        assert counters["rtt_samples"] == 6
+        assert log.count("ack") == 6
+
+    def test_lossy_link_retransmits_until_acked(self):
+        from repro.winsys import boot
+
+        system = boot("nt40", seed=5)
+        channel, log = _channel(system, loss=0.45)
+        for char in "abcdefgh":
+            channel.send(char)
+            system.run_for(ns_from_ms(120))
+        system.run_for(ns_from_ms(12_000))
+        counters = channel.counters()
+        assert counters["retransmits"] > 0
+        assert counters["acked"] + counters["abandoned"] == counters["sent"]
+        assert log.count("retransmit") == counters["retransmits"]
+
+    def test_give_up_after_retry_cap(self, nt40):
+        # A link that drops every upstream packet: each input burns
+        # through the retry cap and is abandoned, with a skip notice.
+        config = TransportConfig(retry_cap=3)
+        log = TransportLog()
+        link = LossyLink(nt40, LinkConfig.symmetric("t", rtt_ms=40.0, loss=0.99))
+        abandoned = []
+        channel = InputChannel(
+            link,
+            config,
+            deliver=lambda packet: None,
+            log=log,
+            on_abandoned=abandoned.append,
+        )
+        channel.send("a")
+        nt40.run_for(ns_from_ms(60_000))
+        counters = channel.counters()
+        assert counters["abandoned"] == 1 and counters["in_flight"] == 0
+        assert abandoned == [1]
+        assert log.count("give-up") == 1
+        # retry_cap total transmissions: 1 send + (cap - 1) retransmits.
+        assert log.count("send") + log.count("retransmit") == config.retry_cap
+
+    def test_karn_skips_retransmitted_samples(self, nt40):
+        channel, _ = _channel(nt40)
+        channel.send("a")
+        nt40.run_for(ns_from_ms(100))
+        assert channel.estimator.samples == 1
+        # Fake an ambiguous ack: pretend the packet was retransmitted.
+        channel._pending[99] = {
+            "char": "x",
+            "first_sent_ns": 0,
+            "attempts": 2,
+            "rto_ns": ns_from_ms(100),
+            "timer": None,
+        }
+        channel.on_ack(AckPacket(99))
+        assert channel.estimator.samples == 1  # unchanged
+
+    def test_duplicate_ack_is_ignored(self, nt40):
+        channel, _ = _channel(nt40)
+        channel.send("a")
+        nt40.run_for(ns_from_ms(100))
+        before = channel.counters()
+        channel.on_ack(AckPacket(1))
+        assert channel.counters() == before
+
+    def test_log_digest_is_deterministic(self):
+        from repro.winsys import boot
+
+        def run_once():
+            system = boot("nt40", seed=7)
+            channel, log = _channel(system, loss=0.3)
+            for char in "abcde":
+                channel.send(char)
+                system.run_for(ns_from_ms(150))
+            system.run_for(ns_from_ms(8_000))
+            return log.digest()
+
+        assert run_once() == run_once()
