@@ -9,8 +9,9 @@ SMOKE_CACHE := .smoke-cache
 
 .PHONY: test benchmarks bench-json perf-gate perf-baseline \
 	experiments experiments-smoke faults-smoke remote-smoke \
-	obs-smoke obs-overhead fleet-smoke chaos-smoke chaos-stress \
-	docs-check verify-integrity golden-check golden-update verify clean
+	obs-smoke obs-overhead envelope-smoke fleet-smoke chaos-smoke \
+	chaos-stress docs-check verify-integrity golden-check \
+	golden-update verify clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +27,7 @@ bench-json:
 		benchmarks/test_fastforward.py \
 		benchmarks/test_fleet_scale.py \
 		benchmarks/test_remote_transport.py \
+		benchmarks/test_envelope_overhead.py \
 		--benchmark-only --benchmark-json=.bench-raw.json -q
 	$(PYTHON) -m repro.perfgate collect .bench-raw.json -o .bench-current.json
 
@@ -152,6 +154,50 @@ obs-smoke:
 obs-overhead:
 	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q
 
+# CI gate for the stage-envelope layer: every completed envelope must
+# conserve time exactly (stage durations sum to the measured wait, in
+# integer nanoseconds), the per-stage Perfetto tracks must pass the
+# structural trace validator, and a sweep archived with the stage flags
+# on must render the breakdown and budget-alert sections in stats.
+envelope-smoke:
+	rm -rf $(SMOKE_OUT)
+	$(PYTHON) -c "\
+	from repro.obs import observed, chrome_trace, validate_chrome_trace; \
+	from repro.experiments.registry import run_experiment; \
+	ctx = observed(trace=True, metrics=False); \
+	session = ctx.__enter__(); \
+	run_experiment('fig1', seed=0); \
+	recorders = session.envelope_recorders; \
+	trace = chrome_trace(session.tracer, label='envelope'); \
+	ctx.__exit__(None, None, None); \
+	envelopes = [e for r in recorders for e in r.completed]; \
+	assert envelopes, 'no envelopes recorded'; \
+	bad = [e.to_dict() for e in envelopes \
+	       if sum(e.stage_ns.values()) != e.done_ns - e.inject_ns]; \
+	assert not bad, ('conservation violated', bad[:3]); \
+	problems = validate_chrome_trace(trace); \
+	assert not problems, problems[:5]; \
+	stage_tracks = [e for e in trace['traceEvents'] \
+	                if e.get('name') == 'thread_name' \
+	                and str(e.get('args', {}).get('name', '')).startswith('stage:')]; \
+	assert stage_tracks, 'stage tracks missing from trace'; \
+	print('envelope conservation ok: %d envelope(s), %d stage track(s)' % \
+	      (len(envelopes), len(stage_tracks)))"
+	$(PYTHON) -m repro.experiments run fig1 --no-cache --checks-only \
+		--save $(SMOKE_OUT) --stage-sample-rate 1.0 --stage-budget handler=0.1
+	$(PYTHON) -c "\
+	from repro.core.serialize import load_json, manifest_from_dict; \
+	m = manifest_from_dict(load_json('$(SMOKE_OUT)/manifest.json')); \
+	obs = m['obs']; \
+	assert obs.get('stages'), 'manifest missing stage attribution'; \
+	assert obs.get('stage_alerts'), 'tight handler budget produced no alerts'; \
+	print('envelope manifest ok: %d group(s), %d alert(s)' % \
+	      (len(obs['stages']['groups']), len(obs['stage_alerts'])))"
+	$(PYTHON) -m repro.experiments stats $(SMOKE_OUT)/manifest.json \
+		| grep -q "stage breakdown (envelopes)"
+	@echo "envelope smoke ok"
+	rm -rf $(SMOKE_OUT)
+
 # CI gate for the fleet layer: a reduced ext-fleet sweep end to end
 # through the runner — the manifest must carry the merged-sketch
 # provenance, the stats subcommand must render the fleet block, and the
@@ -243,8 +289,8 @@ golden-update:
 # The default local verification flow: unit tests, the
 # measurement-integrity gate, the observability gates, the fleet and
 # docs gates, then the perf-regression gate.
-verify: test verify-integrity obs-smoke obs-overhead fleet-smoke \
-	chaos-smoke remote-smoke docs-check perf-gate
+verify: test verify-integrity obs-smoke obs-overhead envelope-smoke \
+	fleet-smoke chaos-smoke remote-smoke docs-check perf-gate
 
 clean:
 	rm -rf $(SMOKE_OUT) $(SMOKE_CACHE) out/ .pytest_cache

@@ -35,9 +35,11 @@ EPSILON_S = 0.010  # absolute slack for timer/scheduler noise
 def _time_once(instrumented: bool) -> float:
     started = time.perf_counter()
     if instrumented:
-        # trace=False, metrics=False: hooks attach and dispatch, but
-        # into the null sinks — an upper bound on the disabled path.
-        with observed(trace=False, metrics=False):
+        # trace=False, metrics=False, envelopes off: hooks attach and
+        # dispatch, but into the null sinks — an upper bound on the
+        # disabled path.  Stage envelopes (on by default under a
+        # session) have their own gate in test_envelope_overhead.py.
+        with observed(trace=False, metrics=False, envelopes={"enabled": False}):
             run_experiment(EXPERIMENT, seed=0)
     else:
         run_experiment(EXPERIMENT, seed=0)

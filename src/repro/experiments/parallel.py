@@ -135,6 +135,10 @@ class JobResult:
     trace: Optional[dict] = None
     #: Metrics snapshot for this job (obs metrics requested).
     metrics: Optional[dict] = None
+    #: Stage-envelope snapshot for this job — attribution sketches,
+    #: budget alerts and sampling counters (observed runs only; see
+    #: :meth:`repro.obs.runtime.ObsSession.stage_snapshot`).
+    stages: Optional[dict] = None
 
     def failed_checks(self) -> List[str]:
         return [c["name"] for c in self.checks if not c["passed"]]
@@ -229,12 +233,14 @@ def execute_job(
     pinned to this job's exact identity: a killed run resumes from its
     last snapshot, and a completed run discards it.
 
-    ``obs`` (``{"trace": bool, "metrics": bool}``) opens an
-    observability session around the execution and attaches the
-    job-local Chrome trace and metrics snapshot to the result.  An
-    observed job bypasses cache *reads* — a cached hit would yield no
-    telemetry — but still writes its entry, which determinism makes
-    harmless.
+    ``obs`` (``{"trace": bool, "metrics": bool, "envelopes": dict}``)
+    opens an observability session around the execution and attaches
+    the job-local Chrome trace, metrics snapshot and stage-envelope
+    snapshot to the result.  ``envelopes`` is the
+    :class:`~repro.obs.envelope.EnvelopeConfig` dict form (sample rate,
+    stage budgets).  An observed job bypasses cache *reads* — a cached
+    hit would yield no telemetry — but still writes its entry, which
+    determinism makes harmless.
 
     ``fast_forward`` sets this process's idle fast-forward default
     (``--no-fast-forward``).  It is deliberately *not* part of the cache
@@ -274,7 +280,9 @@ def _execute_job_inner(
     started = time.perf_counter()
     kwargs, variant = job_variant(experiment_id, run_kwargs)
     obs = obs or {}
-    want_obs = bool(obs.get("trace") or obs.get("metrics"))
+    want_obs = bool(
+        obs.get("trace") or obs.get("metrics") or obs.get("envelopes")
+    )
     # Sequential runs share one cache instance across jobs, so eviction
     # attribution must be a delta, not the instance total.
     evictions_before = cache.evictions if cache is not None else 0
@@ -315,7 +323,9 @@ def _execute_job_inner(
         from ..obs import runtime as obs_runtime
 
         session = obs_runtime.start_session(
-            trace=bool(obs.get("trace")), metrics=bool(obs.get("metrics"))
+            trace=bool(obs.get("trace")),
+            metrics=bool(obs.get("metrics")),
+            envelopes=obs.get("envelopes"),
         )
     try:
         result = run_experiment(experiment_id, seed=seed, **kwargs)
@@ -343,6 +353,7 @@ def _execute_job_inner(
     wall = time.perf_counter() - started
     trace_dict = None
     metrics_snapshot = None
+    stages_snapshot = None
     if session is not None:
         if session.tracer is not None:
             from ..obs.perfetto import chrome_trace
@@ -351,6 +362,7 @@ def _execute_job_inner(
                 session.tracer, label=f"{experiment_id}/seed{seed}"
             )
         metrics_snapshot = session.metrics_snapshot()
+        stages_snapshot = session.stage_snapshot()
     if checkpointer is not None:
         checkpointer.discard()  # the finished run supersedes it
     if cache is not None:
@@ -379,6 +391,7 @@ def _execute_job_inner(
         cache_evictions=_evictions(),
         trace=trace_dict,
         metrics=metrics_snapshot,
+        stages=stages_snapshot,
     )
 
 

@@ -48,6 +48,7 @@ from ..core.serialize import (
 )
 from ..obs import (
     LEVELS,
+    STAGES,
     MetricsRegistry,
     get_logger,
     merge_chrome_traces,
@@ -538,6 +539,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--stage-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "fraction of input events to carry full stage envelopes for "
+            "(0..1; default 1 when observability is on).  Sampling draws "
+            "from a dedicated forked RNG stream, so payloads, traces and "
+            "golden digests are byte-identical at every rate"
+        ),
+    )
+    parser.add_argument(
+        "--stage-budget",
+        action="append",
+        default=None,
+        metavar="STAGE=MS",
+        help=(
+            "latency budget for one pipeline stage (e.g. handler=50); an "
+            "event whose stage exceeds it emits a threshold alert into "
+            "the manifest.  Repeatable; stages: " + ", ".join(STAGES)
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         choices=sorted(LEVELS, key=LEVELS.get),
         default="info",
@@ -568,6 +592,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.packets is not None and args.packets < 1:
         log.error(f"--packets must be >= 1, got {args.packets}")
         return 2
+    if args.stage_sample_rate is not None and not (
+        0.0 <= args.stage_sample_rate <= 1.0
+    ):
+        log.error(
+            f"--stage-sample-rate must be in [0, 1], got {args.stage_sample_rate}"
+        )
+        return 2
+    stage_budgets: Dict[str, float] = {}
+    for budget_spec in args.stage_budget or []:
+        stage, sep, millis = budget_spec.partition("=")
+        if not sep or stage not in STAGES:
+            log.error(
+                f"invalid --stage-budget {budget_spec!r}; expected "
+                f"STAGE=MS with STAGE one of: {', '.join(STAGES)}"
+            )
+            return 2
+        try:
+            budget_ms = float(millis)
+        except ValueError:
+            budget_ms = -1.0
+        if budget_ms <= 0:
+            log.error(
+                f"invalid --stage-budget {budget_spec!r}; "
+                f"MS must be a positive number"
+            )
+            return 2
+        stage_budgets[stage] = budget_ms
     if args.scenario is not None:
         from ..faults import scenario_names
 
@@ -719,12 +770,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             save_json(job.payload, save_dir / filename)
             saved[(job.experiment_id, job.seed)] = filename
 
+    # Stage flags force an observability session even without trace or
+    # metrics outputs: budgets and sampling act on the envelope layer.
+    stage_flags = args.stage_sample_rate is not None or stage_budgets
     obs_opts: Optional[dict] = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or stage_flags:
         obs_opts = {
             "trace": bool(args.trace_out),
             "metrics": bool(args.metrics_out),
         }
+        if stage_flags:
+            obs_opts["envelopes"] = {
+                "enabled": True,
+                "sample_rate": (
+                    1.0
+                    if args.stage_sample_rate is None
+                    else args.stage_sample_rate
+                ),
+                "budgets_ms": stage_budgets,
+            }
 
     interrupted = False
     sweep_started = time.perf_counter()
@@ -803,6 +867,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"wrote {len(merged_trace['traceEvents'])} trace event(s) "
             f"to {args.trace_out}"
         )
+    # Stage-envelope roll-up: per-job attribution sketches merge
+    # commutatively, so the sweep-wide breakdown is job-order free.
+    stage_snapshots = [job.stages for job in results if job.stages]
+    merged_stages: Optional[dict] = None
+    stage_alerts: List[dict] = []
+    if stage_snapshots:
+        from ..obs import StageAttribution
+
+        attribution = StageAttribution()
+        alerts_suppressed = 0
+        for snapshot in stage_snapshots:
+            attribution.merge(
+                StageAttribution.from_dict(snapshot["attribution"])
+            )
+            stage_alerts.extend(snapshot.get("alerts") or [])
+            alerts_suppressed += int(snapshot.get("alerts_suppressed") or 0)
+        merged_stages = attribution.to_dict()
+        merged_stages["alerts_suppressed"] = alerts_suppressed
+        if stage_alerts:
+            log.warning(
+                f"{len(stage_alerts)} stage budget alert(s) "
+                f"(+{alerts_suppressed} suppressed); see the manifest's "
+                f"obs.stage_alerts or `repro-experiments stats`"
+            )
     if args.metrics_out:
         metrics_path = Path(args.metrics_out)
         if metrics_path.suffix == ".prom":
@@ -841,6 +929,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "makespan_s": makespan_s,
             "metrics": merged_metrics,
         }
+        if merged_stages is not None:
+            manifest["obs"]["stages"] = merged_stages
+            manifest["obs"]["stage_alerts"] = stage_alerts
         save_json(manifest, save_dir / "manifest.json")
 
     errors = sum(1 for entry in entries if entry.get("error") is not None)

@@ -216,6 +216,65 @@ def render_stats(manifest: dict) -> str:
                 )
             lines.append(fleet_table.render())
 
+    # Stage-envelope breakdown and budget alerts.  Both sections are
+    # absent from pre-envelope manifests (and from sweeps run without
+    # an observability session), so everything degrades via .get.
+    stages = obs.get("stages") or {}
+    attribution = None
+    if stages:
+        try:
+            from ..obs import StageAttribution
+
+            attribution = StageAttribution.from_dict(stages)
+        except (KeyError, TypeError, ValueError):
+            attribution = None  # malformed/foreign payload: skip the table
+    if attribution is not None and attribution.events:
+        lines.append("")
+        stage_table = TextTable(
+            [
+                "app", "os", "scenario", "stage", "events",
+                "p50 ms", "p95 ms", "p99 ms", "dom",
+            ],
+            title="stage breakdown (envelopes)",
+        )
+        for row in attribution.summary_rows():
+            stage_table.add_row(
+                row["app"],
+                row["os"],
+                row["scenario"],
+                row["stage"],
+                row["events"],
+                _seconds(row["p50_ms"]),
+                _seconds(row["p95_ms"]),
+                _seconds(row["p99_ms"]),
+                "*" if row["dominant"] else "",
+            )
+        lines.append(stage_table.render())
+    alerts = obs.get("stage_alerts") or []
+    suppressed = int(stages.get("alerts_suppressed") or 0)
+    if alerts or suppressed:
+        lines.append("")
+        lines.append(
+            f"stage budget alerts: {len(alerts)} recorded"
+            + (f" (+{suppressed} suppressed)" if suppressed else "")
+        )
+        alert_table = TextTable(
+            ["os", "app", "scenario", "stage", "budget ms", "actual ms", "seq"]
+        )
+        for alert in alerts[:20]:
+            alert_table.add_row(
+                alert.get("os", "-"),
+                alert.get("app", "-"),
+                alert.get("scenario", "-"),
+                alert.get("stage", "-"),
+                _seconds(alert.get("budget_ms")),
+                _seconds(alert.get("actual_ms")),
+                alert.get("seq", "-"),
+            )
+        lines.append(alert_table.render())
+        if len(alerts) > 20:
+            lines.append(f"  ... and {len(alerts) - 20} more")
+
     metrics = obs.get("metrics") or {}
     sections = [
         ("counters", metrics.get("counters") or {}, ""),

@@ -17,11 +17,12 @@ object survives the call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..apps.base import InteractiveApp
 from ..core import EventExtractor, IdleLoopInstrument, MessageApiMonitor
 from ..faults import FaultInjector, get_scenario
+from ..obs import runtime as obs_runtime
 from ..sim.timebase import ns_from_ms
 from ..winsys import boot
 from ..winsys.syscalls import SyncWrite, Syscall
@@ -97,6 +98,12 @@ class SessionResult:
     #: Per-stage totals (ms) folded into the fleet stage histogram.
     stage_ms: Dict[str, float] = field(default_factory=dict)
     faults_injected: int = 0
+    #: Per-stage envelope sketches (stage -> quantile-sketch payload)
+    #: harvested from the session's :class:`~repro.obs.envelope.EnvelopeRecorder`
+    #: — per-event stage *distributions*, where ``stage_ms`` only has
+    #: per-session totals.  Empty when no recorder was attached.
+    envelopes: Dict[str, dict] = field(default_factory=dict)
+    envelope_events: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -108,7 +115,23 @@ class SessionResult:
             "span_ms": round(float(self.span_ms), 6),
             "stage_ms": {k: round(float(v), 6) for k, v in self.stage_ms.items()},
             "faults_injected": self.faults_injected,
+            "envelopes": self.envelopes,
+            "envelope_events": self.envelope_events,
         }
+
+
+def _harvest_envelopes(system) -> Tuple[Dict[str, dict], int]:
+    """Collapse the boot's stage-envelope attribution into per-stage
+    quantile-sketch payloads.  The sketches merge commutatively, so the
+    fleet aggregate — and its digest — is shard-shape independent."""
+    recorder = getattr(getattr(system, "obs", None), "envelopes", None)
+    if recorder is None:
+        return {}, 0
+    sketches = recorder.attribution.stage_sketches()
+    return (
+        {stage: sketches[stage].to_dict() for stage in sorted(sketches)},
+        recorder.finished,
+    )
 
 
 def _run_remote_session(spec: SessionSpec, profile: dict) -> SessionResult:
@@ -123,6 +146,9 @@ def _run_remote_session(spec: SessionSpec, profile: dict) -> SessionResult:
     from ..remote import LinkConfig, RemoteSession, TransportConfig
 
     system = boot(spec.os_name, seed=spec.seed)
+    recorder = getattr(getattr(system, "obs", None), "envelopes", None)
+    if recorder is not None:
+        recorder.scenario = spec.scenario or "healthy"
     link = LinkConfig.symmetric(
         "fleet-remote",
         rtt_ms=profile["rtt_ms"],
@@ -138,6 +164,7 @@ def _run_remote_session(spec: SessionSpec, profile: dict) -> SessionResult:
     base_gap_ms = max(_MIN_KEYSTROKE_MS, 60_000.0 / (spec.wpm * 5.0))
     remote = session.run(chars=spec.chars, cadence_ms=base_gap_ms)
     keystroke_wait_ms = float(sum(remote.wait_ms))
+    envelopes, envelope_events = _harvest_envelopes(system)
     return SessionResult(
         index=spec.index,
         os_name=spec.os_name,
@@ -156,6 +183,8 @@ def _run_remote_session(spec: SessionSpec, profile: dict) -> SessionResult:
             if session.injector is not None
             else 0
         ),
+        envelopes=envelopes,
+        envelope_events=envelope_events,
     )
 
 
@@ -166,10 +195,30 @@ def run_session(spec: SessionSpec) -> SessionResult:
     from named streams of the session's own master seed, so two calls
     with equal specs return equal results — the property batch caching
     and the shard-permutation determinism test rely on.
+
+    Every session runs under an observability session (a private
+    trace-less, metric-less one when the caller hasn't opened any) so
+    stage envelopes are always recorded: the per-stage sketches in
+    :attr:`SessionResult.envelopes` are what the fleet aggregate's
+    bottleneck attribution is built from.
     """
-    if APP_PROFILES[spec.profile].get("remote"):
-        return _run_remote_session(spec, APP_PROFILES[spec.profile])
+    owns_obs = not obs_runtime.active()
+    if owns_obs:
+        obs_runtime.start_session(trace=False, metrics=False)
+    try:
+        if APP_PROFILES[spec.profile].get("remote"):
+            return _run_remote_session(spec, APP_PROFILES[spec.profile])
+        return _run_local_session(spec)
+    finally:
+        if owns_obs:
+            obs_runtime.stop_session()
+
+
+def _run_local_session(spec: SessionSpec) -> SessionResult:
     system = boot(spec.os_name, seed=spec.seed)
+    recorder = getattr(getattr(system, "obs", None), "envelopes", None)
+    if recorder is not None:
+        recorder.scenario = spec.scenario or "healthy"
     app = FleetSessionApp(system, APP_PROFILES[spec.profile])
     app.start(foreground=True)
     instrument = IdleLoopInstrument(system)
@@ -209,6 +258,7 @@ def run_session(spec: SessionSpec) -> SessionResult:
     all_wait_ms = float(extraction.profile.latencies_ms.sum())
     keystroke_wait_ms = float(sum(wait_ms))
     sync_io_ms = system.iomgr.sync_wait_ns / 1e6
+    envelopes, envelope_events = _harvest_envelopes(system)
     return SessionResult(
         index=spec.index,
         os_name=spec.os_name,
@@ -225,4 +275,6 @@ def run_session(spec: SessionSpec) -> SessionResult:
         faults_injected=(
             injector.summary()["total"] if injector is not None else 0
         ),
+        envelopes=envelopes,
+        envelope_events=envelope_events,
     )

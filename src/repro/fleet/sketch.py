@@ -382,6 +382,7 @@ class FleetAggregator:
         self.compression = int(compression)
         #: (os_name, scenario) -> {"wait": QuantileSketch,
         #: "span": QuantileSketch, "stages": StageHistogram,
+        #: "envelope": {stage: QuantileSketch}, "envelope_events": int,
         #: "sessions": int}
         self.groups: Dict[Tuple[str, str], dict] = {}
         self.sessions = 0
@@ -395,10 +396,25 @@ class FleetAggregator:
                 "wait": QuantileSketch(self.compression),
                 "span": QuantileSketch(self.compression),
                 "stages": StageHistogram(),
+                "envelope": {},
+                "envelope_events": 0,
                 "sessions": 0,
             }
             self.groups[key] = group
         return group
+
+    @staticmethod
+    def _fold_envelope(group: dict, sketches: Mapping) -> None:
+        """Merge per-stage envelope sketches into a group (commutative)."""
+        for stage, sketch in sketches.items():
+            if isinstance(sketch, Mapping):
+                sketch = QuantileSketch.from_dict(sketch)
+            mine = group["envelope"].get(stage)
+            if mine is None:
+                fresh = QuantileSketch(sketch.compression)
+                group["envelope"][stage] = fresh.merge(sketch)
+            else:
+                mine.merge(sketch)
 
     def add_session(self, result) -> None:
         """Fold one :class:`~repro.fleet.session.SessionResult` in."""
@@ -411,6 +427,8 @@ class FleetAggregator:
         group["span"].add(result.span_ms)
         for stage, value_ms in result.stage_ms.items():
             group["stages"].observe(stage, value_ms)
+        self._fold_envelope(group, getattr(result, "envelopes", {}) or {})
+        group["envelope_events"] += int(getattr(result, "envelope_events", 0))
 
     def merge(self, other: "FleetAggregator") -> "FleetAggregator":
         if other.compression != self.compression:
@@ -423,10 +441,33 @@ class FleetAggregator:
             mine["wait"].merge(theirs["wait"])
             mine["span"].merge(theirs["span"])
             mine["stages"].merge(theirs["stages"])
+            self._fold_envelope(mine, theirs["envelope"])
+            mine["envelope_events"] += theirs["envelope_events"]
             mine["sessions"] += theirs["sessions"]
         self.sessions += other.sessions
         self.events += other.events
         return self
+
+    def envelope_summary(self, os_name: str, scenario: str) -> Dict[str, dict]:
+        """Per-stage quantile summaries for one group (empty if none)."""
+        group = self.groups.get((os_name, scenario))
+        if group is None:
+            return {}
+        return {
+            stage: sketch.summary()
+            for stage, sketch in sorted(group["envelope"].items())
+        }
+
+    def dominant_stage(self, os_name: str, scenario: str, q: float = 0.95) -> Optional[str]:
+        """The stage with the largest ``q``-quantile in one group — the
+        fleet-level answer to "where does the wait come from?"."""
+        group = self.groups.get((os_name, scenario))
+        if not group or not group["envelope"]:
+            return None
+        return max(
+            sorted(group["envelope"]),
+            key=lambda stage: group["envelope"][stage].quantile(q),
+        )
 
     def group_keys(self) -> List[Tuple[str, str]]:
         return sorted(self.groups)
@@ -445,6 +486,11 @@ class FleetAggregator:
                     "wait": group["wait"].to_dict(),
                     "span": group["span"].to_dict(),
                     "stages": group["stages"].to_dict(),
+                    "envelope": {
+                        stage: sketch.to_dict()
+                        for stage, sketch in sorted(group["envelope"].items())
+                    },
+                    "envelope_events": group["envelope_events"],
                 }
                 for (os_name, scenario), group in sorted(self.groups.items())
             },
@@ -462,6 +508,12 @@ class FleetAggregator:
                 "wait": QuantileSketch.from_dict(group["wait"]),
                 "span": QuantileSketch.from_dict(group["span"]),
                 "stages": StageHistogram.from_dict(group["stages"]),
+                # .get: payloads from before stage envelopes existed.
+                "envelope": {
+                    stage: QuantileSketch.from_dict(payload)
+                    for stage, payload in group.get("envelope", {}).items()
+                },
+                "envelope_events": int(group.get("envelope_events", 0)),
                 "sessions": int(group["sessions"]),
             }
         return aggregator

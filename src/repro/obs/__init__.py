@@ -34,6 +34,8 @@ payloads and golden digests are byte-identical with observability on
 or off (``tests/test_obs_determinism.py`` pins this).
 """
 
+from .attribution import StageAttribution, dominant_stage_of
+from .envelope import STAGES, EnvelopeConfig, EnvelopeRecorder, StageEnvelope
 from .logging import LEVELS, StructuredLogger, get_logger, set_level
 from .metrics import (
     NULL_REGISTRY,
@@ -51,11 +53,17 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullTracer",
+    "EnvelopeConfig",
+    "EnvelopeRecorder",
     "ObsSession",
+    "STAGES",
+    "StageAttribution",
+    "StageEnvelope",
     "StructuredLogger",
     "TraceEvent",
     "Tracer",
     "active",
+    "dominant_stage_of",
     "chrome_trace",
     "get_logger",
     "merge_chrome_traces",

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from .envelope import EnvelopeRecorder
 from .metrics import NULL_REGISTRY
 from .runtime import ObsSession
 from .tracer import NULL_TRACER
@@ -78,6 +79,11 @@ class SystemInstrumentation:
         self._next_thread_track = FIRST_THREAD_TRACK
         self._cpu_owner: object = None
         self._io_span_open = False
+        #: Stage-envelope recorder; attached by instrument_system when
+        #: the session's envelope config is enabled, None otherwise.
+        self.envelopes: Optional[EnvelopeRecorder] = None
+        #: stage name -> trace track id ("stage:input", ...), lazy.
+        self._stage_tracks: Dict[str, int] = {}
 
         self._ctx_switches = registry.counter(
             "repro_sim_context_switches_total",
@@ -270,6 +276,8 @@ class SystemInstrumentation:
         )
 
     def sync_io(self, outstanding: int) -> None:
+        if self.envelopes is not None:
+            self.envelopes.sync_io(outstanding)
         now = self._sim.now
         if outstanding > 0 and not self._io_span_open:
             self._io_span_open = True
@@ -362,9 +370,39 @@ class SystemInstrumentation:
         )
 
     # ------------------------------------------------------------------
+    # Stage envelopes (per-stage tracks; see repro.obs.envelope)
+    # ------------------------------------------------------------------
+    def stage_track(self, stage: str) -> int:
+        """Lazily allocate the per-stage trace track (``stage:input``,
+        ``stage:queue``, ...) within this OS process."""
+        track = self._stage_tracks.get(stage)
+        if track is None:
+            track = self.tracer.register_thread(
+                self.pid, f"stage:{stage}", tid=self._next_thread_track
+            )
+            self._next_thread_track = track + 1
+            self._stage_tracks[stage] = track
+        return track
+
+    def input_dispatch_begin(self, payload) -> None:
+        if self.envelopes is not None:
+            self.envelopes.input_dispatch_begin(payload)
+
+    def take_envelope(self, payload):
+        if self.envelopes is None:
+            return None
+        return self.envelopes.take_envelope(payload)
+
+    def pump_idle(self, thread) -> None:
+        if self.envelopes is not None:
+            self.envelopes.pump_idle(thread)
+
+    # ------------------------------------------------------------------
     # Messages and app events (per-thread tracks)
     # ------------------------------------------------------------------
     def queue_event(self, thread, action: str, message, depth: int) -> None:
+        if self.envelopes is not None:
+            self.envelopes.on_queue_event(thread, action, message, depth)
         track = self._thread_tracks.get(thread.tid)
         if track is not None:
             self.tracer.instant(
@@ -397,6 +435,8 @@ class SystemInstrumentation:
         self._app_events.inc(os=self.os, kind=kind)
 
     def app_event_end(self, thread, message) -> None:
+        if self.envelopes is not None:
+            self.envelopes.on_app_event_end(thread, message)
         track = self._thread_tracks.get(thread.tid)
         if track is None:
             return
@@ -406,6 +446,15 @@ class SystemInstrumentation:
 def instrument_system(system, os_name: str, session: ObsSession):
     """Wire a :class:`SystemInstrumentation` into one booted system."""
     instrumentation = SystemInstrumentation(system, os_name, session)
+    config = session.envelope_config
+    if config.enabled:
+        instrumentation.envelopes = EnvelopeRecorder(
+            system, os_name, instrumentation, config
+        )
+        session.register_envelopes(instrumentation.envelopes)
+        system.machine.interrupts.obs_deliver = (
+            instrumentation.envelopes.input_injected
+        )
     system.obs = instrumentation
     kernel = system.kernel
     kernel.obs = instrumentation

@@ -18,6 +18,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .envelope import EnvelopeConfig
 from .metrics import MetricsRegistry
 from .tracer import DEFAULT_CAPACITY, Tracer
 
@@ -40,6 +41,7 @@ class ObsSession:
         trace: bool = True,
         metrics: bool = True,
         capacity: int = DEFAULT_CAPACITY,
+        envelopes=None,
     ) -> None:
         self.trace_enabled = trace
         self.metrics_enabled = metrics
@@ -47,6 +49,12 @@ class ObsSession:
         self.registry: Optional[MetricsRegistry] = (
             MetricsRegistry() if metrics else None
         )
+        #: Stage-envelope configuration (``None`` -> enabled defaults);
+        #: accepts an EnvelopeConfig or its dict form (the runner ships
+        #: it to pool workers inside a plain picklable options dict).
+        self.envelope_config = EnvelopeConfig.coerce(envelopes)
+        #: EnvelopeRecorders created by instrument_system, one per boot.
+        self._envelope_recorders: list = []
         #: Callbacks run just before every metrics snapshot — how
         #: point-in-time gauges (calendar depth, cancelled fraction) get
         #: their final values without per-event publishing cost.
@@ -55,6 +63,51 @@ class ObsSession:
     def add_flush(self, hook) -> None:
         """Register a zero-argument callback to run at snapshot time."""
         self._flush_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Stage envelopes (see repro.obs.envelope / repro.obs.attribution)
+    # ------------------------------------------------------------------
+    def register_envelopes(self, recorder) -> None:
+        """Track one boot's EnvelopeRecorder for session-wide queries."""
+        self._envelope_recorders.append(recorder)
+
+    @property
+    def envelope_recorders(self) -> list:
+        return list(self._envelope_recorders)
+
+    def stage_attribution(self):
+        """Every recorder's attribution, merged (commutatively)."""
+        from .attribution import StageAttribution
+
+        merged = StageAttribution()
+        for recorder in self._envelope_recorders:
+            merged.merge(recorder.attribution)
+        return merged
+
+    def stage_alerts(self) -> list:
+        """Budget-threshold alerts across every recorder, in order."""
+        alerts: list = []
+        for recorder in self._envelope_recorders:
+            alerts.extend(recorder.alerts)
+        return alerts
+
+    def stage_snapshot(self) -> Optional[dict]:
+        """The manifest-ready envelope summary (None if nothing ran)."""
+        if not self._envelope_recorders:
+            return None
+        return {
+            "attribution": self.stage_attribution().to_dict(),
+            "alerts": self.stage_alerts(),
+            "alerts_suppressed": sum(
+                r.alerts_suppressed for r in self._envelope_recorders
+            ),
+            "started": sum(r.started for r in self._envelope_recorders),
+            "completed": sum(r.finished for r in self._envelope_recorders),
+            "sampled_out": sum(
+                r.sampled_out for r in self._envelope_recorders
+            ),
+            "sample_rate": self.envelope_config.sample_rate,
+        }
 
     def metrics_snapshot(self) -> Optional[dict]:
         if self.registry is None:
@@ -78,10 +131,13 @@ def start_session(
     trace: bool = True,
     metrics: bool = True,
     capacity: int = DEFAULT_CAPACITY,
+    envelopes=None,
 ) -> ObsSession:
     """Open the process-global session (replacing any existing one)."""
     global _session
-    _session = ObsSession(trace=trace, metrics=metrics, capacity=capacity)
+    _session = ObsSession(
+        trace=trace, metrics=metrics, capacity=capacity, envelopes=envelopes
+    )
     return _session
 
 
@@ -105,9 +161,12 @@ def observed(
     trace: bool = True,
     metrics: bool = True,
     capacity: int = DEFAULT_CAPACITY,
+    envelopes=None,
 ) -> Iterator[ObsSession]:
     """``with observed() as session:`` — session scoped to the block."""
-    session = start_session(trace=trace, metrics=metrics, capacity=capacity)
+    session = start_session(
+        trace=trace, metrics=metrics, capacity=capacity, envelopes=envelopes
+    )
     try:
         yield session
     finally:

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional
 from .core.atomicio import atomic_write_text
 
 __all__ = [
+    "ENVELOPE_OFF_CEILING",
     "SPEEDUP_FLOOR",
     "TOLERANCE",
     "collect_metrics",
@@ -55,6 +56,12 @@ TOLERANCE = 0.25
 #: regardless of what the baseline recorded.
 SPEEDUP_FLOOR = 5.0
 
+#: Absolute ceiling for the envelope-off overhead ratio (session open,
+#: stage envelopes disabled, vs. uninstrumented) — the <5% disabled-path
+#: budget extended to the envelope switch, enforced regardless of what
+#: the baseline recorded.
+ENVELOPE_OFF_CEILING = 1.05
+
 #: Benchmark whose median anchors ``relative_cost`` for all the others.
 _REFERENCE = "test_engine_event_throughput"
 
@@ -66,6 +73,7 @@ _DIRECTIONS: Dict[str, bool] = {
     "events_per_s": True,
     "sim_ns_per_wall_ms": True,
     "idle_ff_speedup": True,
+    "envelope_off_overhead": False,
 }
 
 
@@ -98,6 +106,8 @@ def collect_metrics(raw: dict) -> dict:
             entry["sim_ns_per_wall_ms"] = float(extra["sim_ns"]) / (median * 1e3)
         if "idle_ff_speedup" in extra:
             entry["idle_ff_speedup"] = float(extra["idle_ff_speedup"])
+        if "envelope_off_overhead" in extra:
+            entry["envelope_off_overhead"] = float(extra["envelope_off_overhead"])
         metrics[name] = entry
     return {
         "schema": 1,
@@ -149,6 +159,12 @@ def compare_metrics(
             problems.append(
                 f"{name}: idle_ff_speedup {speedup:.2f}x below the "
                 f"absolute {SPEEDUP_FLOOR:.1f}x floor"
+            )
+        overhead = cur_entry.get("envelope_off_overhead")
+        if overhead is not None and overhead > ENVELOPE_OFF_CEILING:
+            problems.append(
+                f"{name}: envelope_off_overhead {overhead:.3f}x above the "
+                f"absolute {ENVELOPE_OFF_CEILING:.2f}x ceiling"
             )
     return problems
 

@@ -383,6 +383,13 @@ class RemoteSession:
         )
         self.app = RemoteViewerApp(system, self)
         self._predict_stream = system.machine.rngs.stream("remote-predict")
+        #: Stage-envelope recorder (attached at boot when an obs session
+        #: is active); remote envelopes anchor at the hardware keystroke
+        #: time and spend their round trip in the ``network`` stage.
+        self._recorder = getattr(
+            getattr(system, "obs", None), "envelopes", None
+        )
+        self._envs: Dict[int, object] = {}
         #: FIFO of keyboard-injection times; ``note_inject`` pairs each
         #: captured char with its true hardware inject time so waits
         #: include the local input path, as the paper's waits do.
@@ -400,6 +407,8 @@ class RemoteSession:
             self.injector = FaultInjector(
                 system, get_scenario(scenario)
             ).install()
+            if self._recorder is not None:
+                self._recorder.scenario = scenario
         self.scenario = scenario
 
     # ------------------------------------------------------------------
@@ -410,12 +419,27 @@ class RemoteSession:
         self._inject_ns[seq] = now
         if not self.transport.prediction:
             self._pending[seq] = now
+        if self._recorder is not None:
+            # span=False: the inject time is in the past (the hardware
+            # keystroke), so trace spans start at the first live advance.
+            env = self._recorder.begin("remote", now, span=False)
+            if env is not None:
+                env.app = "remote"
+                # input stage = the local client pipeline up to the
+                # transport send; prediction resolves via the local
+                # echo (render), transport via the network round trip.
+                stage = "render" if self.transport.prediction else "network"
+                self._recorder.advance(env, stage, self.sim.now)
+                self._envs[seq] = env
 
     def note_echo(self, seq: int, end_ns: int) -> None:
         self._wait_ns[seq] = end_ns - self._inject_ns[seq]
         self.predictions += 1
         self._echo_pending[seq] = self._inject_ns[seq]
         self.log(("echo", seq, end_ns))
+        env = self._envs.pop(seq, None)
+        if env is not None:
+            self._recorder.finalize(env, end_ns)
 
     def _input_acked(self, seq: int, transmissions: int) -> None:
         if not self.transport.prediction:
@@ -444,6 +468,11 @@ class RemoteSession:
             # here unless an ack-lost copy still shows up in a frame.
             self._pending.setdefault(seq, self._inject_ns[seq])
             self._wait_ns.setdefault(seq, self.sim.now - self._inject_ns[seq])
+            env = self._envs.pop(seq, None)
+            if env is not None:
+                if env.stage == "network":
+                    self._recorder.advance(env, "render")
+                self._recorder.finalize(env, outcome="abandoned")
 
     def _correct(self, seq: int) -> None:
         self.corrections += 1
@@ -480,6 +509,15 @@ class RemoteSession:
             self.log(("frame-stale", frame.fseq, self.sim.now))
             return
         self._last_played_fseq = frame.fseq
+        if self._envs:
+            # The network stage ends when the covering frame starts to
+            # play; what follows (decode + present) is render.  Marked
+            # here — a live moment — so stage spans stay list-order
+            # monotone for the trace validator.
+            covered = set(frame.covered)
+            for seq, env in self._envs.items():
+                if seq in covered and env.stage == "network":
+                    self._recorder.advance(env, "render")
         self.system.machine.nic.deliver(payload=frame, size_bytes=64)
 
     def note_frame_displayed(self, frame: FramePacket, end_ns: int) -> None:
@@ -489,6 +527,11 @@ class RemoteSession:
             if seq in covered:
                 inject = self._pending.pop(seq)
                 self._wait_ns[seq] = end_ns - inject
+                env = self._envs.pop(seq, None)
+                if env is not None:
+                    if env.stage == "network":
+                        self._recorder.advance(env, "render", end_ns)
+                    self._recorder.finalize(env, end_ns)
 
     # ------------------------------------------------------------------
     def run(self, chars: int = 36, cadence_ms: float = 120.0) -> RemoteSessionResult:
@@ -514,6 +557,11 @@ class RemoteSession:
             if seq not in self._wait_ns:
                 self._wait_ns[seq] = system.now - inject
                 unresolved += 1
+        for seq, env in list(self._envs.items()):
+            if env.stage == "network":
+                self._recorder.advance(env, "render")
+            self._recorder.finalize(env, outcome="censored")
+        self._envs.clear()
         wait_ms = [
             self._wait_ns[seq] / 1e6 for seq in sorted(self._wait_ns)
         ]

@@ -45,6 +45,10 @@ class InterruptController:
         #: Observability callback ``(vector, duration_ns, spurious)`` or
         #: None (the default, zero-cost path).
         self.obs: Optional[Callable[[str, int, bool], None]] = None
+        #: Envelope callback ``(vector, payload, duration_ns)`` fired at
+        #: inject time for *genuine* deliveries only — a spurious
+        #: interrupt carries no input event to envelope.
+        self.obs_deliver: Optional[Callable[[str, object, int], None]] = None
 
     def register(
         self,
@@ -84,6 +88,8 @@ class InterruptController:
         self.delivered[name] = self.delivered.get(name, 0) + 1
         if self.obs is not None:
             self.obs(name, duration, False)
+        if self.obs_deliver is not None:
+            self.obs_deliver(name, payload, duration)
         handler = self._handlers.get(name)
         if handler is not None:
             self.sim.schedule(

@@ -628,6 +628,10 @@ class Kernel:
         return _BLOCKED
 
     def _getmessage_action(self, thread: SimThread):
+        if self.obs is not None:
+            # The pump reached its next retrieval: any envelope whose
+            # render tail was pending on this thread is now on screen.
+            self.obs.pump_idle(thread)
         message = thread.queue.get(self.sim.now)
         if message is not None:
             self.hooks.fire(
@@ -644,6 +648,8 @@ class Kernel:
         return self._block_value(thread, "message")
 
     def _peekmessage_action(self, thread: SimThread, remove: bool):
+        if self.obs is not None:
+            self.obs.pump_idle(thread)
         if remove:
             message = thread.queue.get(self.sim.now)
         else:
@@ -783,6 +789,8 @@ class Kernel:
                     self._request_dispatch()
 
     def _on_keyboard(self, event: KeyEvent) -> None:
+        if self.obs is not None:
+            self.obs.input_dispatch_begin(event)
         self.queue_dpc(
             self.personality.input_dispatch_work,
             action=lambda: self._deliver_key(event),
@@ -792,20 +800,42 @@ class Kernel:
     def _deliver_key(self, event: KeyEvent) -> None:
         if self.foreground is None:
             return
+        envelope = (
+            self.obs.take_envelope(event) if self.obs is not None else None
+        )
         if event.down:
             self.post_to_foreground(
-                Message(WM.KEYDOWN, payload=event.key, from_input=True)
+                Message(
+                    WM.KEYDOWN,
+                    payload=event.key,
+                    from_input=True,
+                    envelope=envelope,
+                )
             )
             if len(event.key) == 1:
+                # WM_CHAR shares the keystroke's envelope: the handler
+                # stage covers both messages' handling.
                 self.post_to_foreground(
-                    Message(WM.CHAR, payload=event.key, from_input=True)
+                    Message(
+                        WM.CHAR,
+                        payload=event.key,
+                        from_input=True,
+                        envelope=envelope,
+                    )
                 )
         else:
             self.post_to_foreground(
-                Message(WM.KEYUP, payload=event.key, from_input=True)
+                Message(
+                    WM.KEYUP,
+                    payload=event.key,
+                    from_input=True,
+                    envelope=envelope,
+                )
             )
 
     def _on_mouse(self, event: MouseEvent) -> None:
+        if self.obs is not None:
+            self.obs.input_dispatch_begin(event)
         if event.kind == "down" and self.personality.mouse_click_busywait:
             self._pending_mouse_down = event
             self.queue_dpc(
@@ -831,8 +861,16 @@ class Kernel:
             "up": WM.LBUTTONUP,
             "move": WM.MOUSEMOVE,
         }
+        envelope = (
+            self.obs.take_envelope(event) if self.obs is not None else None
+        )
         self.post_to_foreground(
-            Message(kind_to_wm[event.kind], payload=event.position, from_input=True)
+            Message(
+                kind_to_wm[event.kind],
+                payload=event.position,
+                from_input=True,
+                envelope=envelope,
+            )
         )
 
     def _begin_mouse_spin(self) -> None:
@@ -883,6 +921,8 @@ class Kernel:
         self.socket_owner = thread
 
     def _on_packet(self, packet) -> None:
+        if self.obs is not None:
+            self.obs.input_dispatch_begin(packet)
         self.queue_dpc(
             self.personality.nic_dispatch_work,
             action=lambda: self._deliver_packet(packet),
@@ -893,8 +933,14 @@ class Kernel:
         target = self.socket_owner or self.foreground
         if target is None or target.done:
             return
+        envelope = (
+            self.obs.take_envelope(packet) if self.obs is not None else None
+        )
         self.post_message(
-            target, Message(WM.SOCKET, payload=packet, from_input=True)
+            target,
+            Message(
+                WM.SOCKET, payload=packet, from_input=True, envelope=envelope
+            ),
         )
 
     def _on_disk(self, request: DiskRequest) -> None:
