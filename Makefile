@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 SMOKE_OUT   := .smoke-out
 SMOKE_CACHE := .smoke-cache
 
-.PHONY: test benchmarks bench-json perf-gate perf-baseline \
+.PHONY: test benchmarks bench-json perf-gate perf-baseline profile-hotpath \
 	experiments experiments-smoke faults-smoke remote-smoke \
 	obs-smoke obs-overhead envelope-smoke fleet-smoke chaos-smoke \
 	chaos-stress docs-check verify-integrity golden-check \
@@ -24,6 +24,7 @@ benchmarks:
 # src/repro/perfgate.py).  .bench-raw.json is scratch output.
 bench-json:
 	$(PYTHON) -m pytest benchmarks/test_simulator_perf.py \
+		benchmarks/test_batch_dispatch.py \
 		benchmarks/test_fastforward.py \
 		benchmarks/test_fleet_scale.py \
 		benchmarks/test_remote_transport.py \
@@ -41,6 +42,11 @@ perf-gate: bench-json
 perf-baseline: bench-json
 	cp .bench-current.json BENCH_simulator.json
 	@echo "perf baseline updated: BENCH_simulator.json"
+
+# cProfile the engine hot paths (calendar churn + keystroke pipeline);
+# writes the top-20 cumulative report to .profile-hotpath.txt.
+profile-hotpath:
+	$(PYTHON) -m repro.profilehotpath -o .profile-hotpath.txt
 
 # The full paper reproduction (parallel, cached under ~/.cache/repro).
 experiments:

@@ -1,0 +1,137 @@
+"""Batched side-calendar execution benchmarks (the engine-core tentpole).
+
+Two regimes bound the optimisation:
+
+* **Homogeneous population** — many identical periodic timers on the
+  structure-of-arrays side calendar.  Runs of consecutive same-kind
+  entries execute through one batch-handler call instead of one engine
+  round per event; the measured ``batch_speedup`` is tracked by the
+  perf gate with an absolute floor.
+* **Mixed kinds** — adjacent entries alternate handler ids, so every
+  run has length one and batching never engages.  This is the worst
+  case: the batch probe must cost (approximately) nothing, which the
+  gate tracks through this benchmark's median like any other.
+
+Both regimes assert the batch on/off event histories agree on count and
+final clock — the cheap in-benchmark slice of the identity contract
+(the full differential check lives in ``tests/test_property_batch.py``).
+"""
+
+import time
+
+from repro.sim.engine import Simulator
+
+#: Homogeneous population shape: every timer re-arms itself each period
+#: until the horizon, so the side calendar stays full and sorted.
+_POPULATION = 512
+_PERIOD_NS = 1_000_000
+_GENERATIONS = 60
+_HORIZON_NS = _PERIOD_NS * _GENERATIONS
+
+
+def _homogeneous_run(batch_enabled):
+    """Run the timer population; returns (events fired, final now)."""
+    sim = Simulator()
+    sim.batch_enabled = batch_enabled
+    count = [0]
+    hid_box = []
+
+    def fire(t, s):
+        count[0] += 1
+        if t + _PERIOD_NS <= _HORIZON_NS:
+            sim.schedule_soa(t + _PERIOD_NS - sim.now, hid_box[0])
+
+    def fire_batch(times, seqs):
+        hid = hid_box[0]
+        schedule_soa = sim.schedule_soa
+        now = times[-1]  # == sim.now for the duration of the call
+        n = 0
+        for t in times:
+            if t + _PERIOD_NS <= _HORIZON_NS:
+                schedule_soa(t + _PERIOD_NS - now, hid)
+            n += 1
+        count[0] += n
+
+    hid_box.append(
+        sim.register_handler(fire, batch=fire_batch, batch_window_ns=_PERIOD_NS)
+    )
+    for i in range(_POPULATION):
+        # A small phase stagger keeps the population realistic (not one
+        # single timestamp) while staying within each batch window.
+        sim.schedule_soa(_PERIOD_NS + (i % 128), hid_box[0])
+    sim.run(until_ns=_HORIZON_NS + _PERIOD_NS)
+    return count[0], sim.now, sim.events_batched, sim.batch_runs
+
+
+def test_batch_dispatch_homogeneous(benchmark):
+    """Homogeneous timer population: batched vs per-event dispatch."""
+    # Timer i (phase i % 128) fires at g * period + phase for every
+    # generation g with g * period + phase <= horizon.
+    expected = sum(
+        (_HORIZON_NS - (i % 128)) // _PERIOD_NS for i in range(_POPULATION)
+    )
+    fired, now, batched, runs = benchmark(_homogeneous_run, True)
+    assert fired == expected
+    assert batched > expected * 0.9, "population barely batched"
+    assert runs > 0
+
+    # Per-event reference (best of two, sheds warm-up noise).
+    off_s = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        fired_off, now_off, batched_off, _ = _homogeneous_run(False)
+        off_s = min(off_s, time.perf_counter() - started)
+    assert fired_off == fired and now_off == now, "batching changed the run"
+    assert batched_off == 0
+
+    on_s = benchmark.stats.stats.median
+    speedup = off_s / on_s
+    benchmark.extra_info["events"] = expected
+    benchmark.extra_info["sim_ns"] = _HORIZON_NS
+    benchmark.extra_info["batch_off_s"] = off_s
+    benchmark.extra_info["batch_speedup"] = speedup
+
+
+def _mixed_run(batch_enabled):
+    """Alternating handler ids: every would-be batch run has length 1."""
+    sim = Simulator()
+    sim.batch_enabled = batch_enabled
+    count = [0]
+    hids = []
+
+    def make(parity):
+        def fire(t, s):
+            count[0] += 1
+            if t + _PERIOD_NS <= _HORIZON_NS:
+                sim.schedule_soa(t + _PERIOD_NS - sim.now, hids[parity])
+
+        def fire_batch(times, seqs):
+            for t, s in zip(times, seqs):
+                fire(t, s)
+
+        return sim.register_handler(
+            fire, batch=fire_batch, batch_window_ns=_PERIOD_NS
+        )
+
+    hids.append(make(0))
+    hids.append(make(1))
+    for i in range(256):
+        sim.schedule_soa(_PERIOD_NS + i, hids[i % 2])
+    sim.run(until_ns=_HORIZON_NS + _PERIOD_NS)
+    return count[0], sim.batch_runs
+
+
+def test_batch_dispatch_mixed_worst_case(benchmark):
+    """Mixed kinds defeat batching; the probe must cost ~nothing.
+
+    The gate tracks this benchmark's median: if the batch-gathering
+    probe ever grows a per-event cost, this regresses.
+    """
+    expected = sum((_HORIZON_NS - i) // _PERIOD_NS for i in range(256))
+    fired, runs = benchmark(_mixed_run, True)
+    assert fired == expected
+    assert runs == 0, "alternating kinds must never form a batch run"
+    fired_off, _ = _mixed_run(False)
+    assert fired_off == fired
+    benchmark.extra_info["events"] = expected
+    benchmark.extra_info["sim_ns"] = _HORIZON_NS

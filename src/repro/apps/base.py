@@ -95,6 +95,11 @@ class InteractiveApp:
 
     def main(self) -> Iterator[Syscall]:
         """The message pump."""
+        # When the subclass keeps the stock dispatch() and no
+        # observability is attached, route straight to
+        # _dispatch_message — one delegating generator per message is
+        # pure overhead on the hot pump path.
+        plain_dispatch = type(self).dispatch is InteractiveApp.dispatch
         yield from self.on_start()
         while not self._quit:
             if self.has_background_work():
@@ -104,7 +109,10 @@ class InteractiveApp:
                     continue
             else:
                 message = yield GetMessage()
-            yield from self.dispatch(message)
+            if plain_dispatch and self.system.obs is None:
+                yield from self._dispatch_message(message)
+            else:
+                yield from self.dispatch(message)
 
     def quit(self) -> None:
         """Ask the pump to exit after the current message."""

@@ -94,13 +94,19 @@ class IdleLoopInstrument:
         # fast-forward batches reproduce.  Computed through the same CPU
         # model the kernel charges, so the two can never disagree.
         step_ns = system.machine.cpu.duration_ns(work)
+        # One reusable syscall object: the kernel consumes an IdleCompute
+        # at perform time (work + max_batch) and never retains it, so the
+        # instrument can mutate max_batch between yields instead of
+        # allocating a fresh syscall per millisecond of idle time.
+        syscall = IdleCompute(work, max_batch=0)
         while True:
             space = buffer.space_left
             if not space:
                 break
             # max_batch caps any analytic batch at the records that still
             # fit, mirroring this loop's own space_left check.
-            batched = yield IdleCompute(work, max_batch=space)
+            syscall.max_batch = space
+            batched = yield syscall
             hook = self.record_hook
             if batched is None:
                 # Segment executed on the (possibly contended) CPU; its

@@ -206,6 +206,7 @@ def execute_job(
     obs: Optional[dict] = None,
     fast_forward: bool = True,
     chaos: Optional[dict] = None,
+    batch: bool = True,
 ) -> JobResult:
     """Run one job, consulting and feeding the cache.
 
@@ -247,6 +248,12 @@ def execute_job(
     variant: the fast path is bit-identical to the slow one (enforced by
     the golden digests and ``tests/test_fastforward.py``), so either
     setting may serve the other's cached payload.
+
+    ``batch`` sets this process's batched side-calendar execution
+    default (``--no-batch``), with exactly the same cache discipline as
+    ``fast_forward``: batched and unbatched runs are bit-identical
+    (``tests/test_engine_batch.py``), so the flag is excluded from the
+    cache variant and either setting may serve the other's entries.
     """
     with chaos_harness(chaos, f"{experiment_id}:{seed}"):
         return _execute_job_inner(
@@ -259,6 +266,7 @@ def execute_job(
             checkpoint_interval=checkpoint_interval,
             obs=obs,
             fast_forward=fast_forward,
+            batch=batch,
         )
 
 
@@ -272,11 +280,13 @@ def _execute_job_inner(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    batch: bool = True,
 ) -> JobResult:
     """:func:`execute_job` without the chaos harness (the real work)."""
-    from ..sim.engine import set_fast_forward_default
+    from ..sim.engine import set_batch_default, set_fast_forward_default
 
     set_fast_forward_default(fast_forward)
+    set_batch_default(batch)
     started = time.perf_counter()
     kwargs, variant = job_variant(experiment_id, run_kwargs)
     obs = obs or {}
@@ -559,10 +569,14 @@ def _pool_round(
                 options.get("obs"),
                 options.get("fast_forward", True),
             ]
-            if options.get("chaos") is not None:
-                # Appended only when active so substitute executors
-                # without a chaos parameter keep working.
-                args.append(options["chaos"])
+            chaos = options.get("chaos")
+            batch = options.get("batch", True)
+            if chaos is not None or not batch:
+                # Appended only when non-default so substitute executors
+                # without the trailing parameters keep working.
+                args.append(chaos)
+            if not batch:
+                args.append(batch)
             futures.append(pool.submit(*args))
         for (index, (experiment_id, seed)), future, submit_stamp in zip(
             indexed_specs, futures, submitted_at
@@ -697,8 +711,11 @@ def _hedged_pool_round(
             options.get("obs"),
             options.get("fast_forward", True),
         ]
-        if chaos is not None:
+        batch = options.get("batch", True)
+        if chaos is not None or not batch:
             args.append(chaos)
+        if not batch:
+            args.append(batch)
         future = pool.submit(*args)
         meta[future] = (index, is_hedge, time.perf_counter())
         open_futures[index].add(future)
@@ -863,6 +880,7 @@ def run_specs(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    batch: bool = True,
     executor: Optional[Callable[..., JobResult]] = None,
     chaos: Optional[dict] = None,
     hedge: Optional[dict] = None,
@@ -914,6 +932,7 @@ def run_specs(
         "checkpoint_interval": checkpoint_interval,
         "obs": obs,
         "fast_forward": fast_forward,
+        "batch": batch,
         "executor": executor,
     }
     if jobs is None:
@@ -1021,6 +1040,7 @@ def run_many(
     checkpoint_interval: int = 1,
     obs: Optional[dict] = None,
     fast_forward: bool = True,
+    batch: bool = True,
     chaos: Optional[dict] = None,
     hedge: Optional[dict] = None,
 ) -> List[JobResult]:
@@ -1050,6 +1070,7 @@ def run_many(
         checkpoint_interval=checkpoint_interval,
         obs=obs,
         fast_forward=fast_forward,
+        batch=batch,
         chaos=chaos,
         hedge=hedge,
     )

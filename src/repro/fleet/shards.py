@@ -96,6 +96,7 @@ def execute_fleet_batch(
     obs: Optional[dict] = None,
     fast_forward: bool = True,
     chaos: Optional[dict] = None,
+    batch: bool = True,
 ):
     """Pool entry point: run one session batch, streamingly aggregated.
 
@@ -126,7 +127,7 @@ def execute_fleet_batch(
     with chaos_harness(chaos, job_id) as active_chaos:
         job = _fleet_batch_job(
             job_id, seed, cache, refresh, run_kwargs, obs, fast_forward,
-            active_chaos,
+            active_chaos, batch=batch,
         )
     if active_chaos is not None:
         active_chaos.corrupt_result(job)
@@ -142,13 +143,15 @@ def _fleet_batch_job(
     obs: Optional[dict],
     fast_forward: bool,
     active_chaos=None,
+    batch: bool = True,
 ):
     """:func:`execute_fleet_batch` inside the chaos harness."""
     from ..experiments.common import ExperimentResult
     from ..experiments.parallel import JobResult
-    from ..sim.engine import set_fast_forward_default
+    from ..sim.engine import set_batch_default, set_fast_forward_default
 
     set_fast_forward_default(fast_forward)
+    set_batch_default(batch)
     started = time.perf_counter()
     try:
         start, stop = _parse_batch_id(job_id)

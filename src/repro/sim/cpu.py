@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
-from .engine import ScheduledEvent, SimulationError, Simulator
+from .engine import SimulationError, Simulator
 from .perf import PerfCounters
-from .timebase import DEFAULT_CPU_HZ, cycles_to_ns
+from .timebase import DEFAULT_CPU_HZ, NS_PER_SEC, cycles_to_ns
 from .work import Work
 
 __all__ = ["CPU"]
@@ -44,7 +44,9 @@ class CPU:
         "_start_ns",
         "_stolen_ns",
         "_charged_fraction",
-        "_completion",
+        "_completion_seq",
+        "_completion_ns",
+        "_complete_hid",
         "_duration_ns",
     )
 
@@ -60,7 +62,12 @@ class CPU:
         self._start_ns = 0
         self._stolen_ns = 0
         self._charged_fraction = 0.0
-        self._completion: Optional[ScheduledEvent] = None
+        # Completions are engine *kind* events (one heap tuple each, no
+        # handle object): the pending entry is tracked by its seq for
+        # cancellation plus its absolute due time for ISR push-back.
+        self._completion_seq: Optional[int] = None
+        self._completion_ns = 0
+        self._complete_hid = sim.register_handler(self._complete)
         #: Base duration of the in-flight segment (cached at start so the
         #: hot completion path does not recompute it).
         self._duration_ns = 0
@@ -102,16 +109,14 @@ class CPU:
         self._work = work
         self._context = context
         self._on_complete = on_complete
-        self._start_ns = sim.now
+        now = sim._now
+        self._start_ns = now
         self._stolen_ns = 0
         self._charged_fraction = 0.0
-        # The completion label is a constant: building a per-segment
-        # f-string here allocated on every single work segment, dominant
-        # in idle-loop traces (the segment itself is still identified by
-        # work.label through the CPU state).
-        duration = cycles_to_ns(work.cycles, self.hz)
+        duration = (work.cycles * NS_PER_SEC) // self.hz
         self._duration_ns = duration
-        self._completion = sim.schedule(duration, self._complete, "work-done")
+        self._completion_ns = now + duration
+        self._completion_seq = sim.schedule_kind(duration, self._complete_hid)
 
     def _executed_ns(self) -> int:
         """Nanoseconds of actual progress on the current segment."""
@@ -129,12 +134,22 @@ class CPU:
     def _complete(self) -> None:
         work, context, callback = self._work, self._context, self._on_complete
         assert work is not None and callback is not None
-        self._charge_progress(1.0)
+        # Uncontested segments (nothing preempted or partially charged
+        # them) are the common case: their events are exact integers, so
+        # the whole-count add skips the pro-rata float path entirely
+        # (inlined charge_events_whole — this runs once per segment).
+        if self._charged_fraction == 0.0:
+            tally = self.perf._tally
+            for event, count in work.events.items():
+                if count:
+                    tally[event] += count
+        else:
+            self._charge_progress(1.0)
         self.busy_ns += self._duration_ns
         self._work = None
         self._context = None
         self._on_complete = None
-        self._completion = None
+        self._completion_seq = None
         callback(context)
 
     def credit_idle_batch(self, work: Work, duration_ns: int, count: int) -> None:
@@ -163,8 +178,8 @@ class CPU:
         """
         if self._work is None:
             raise SimulationError("CPU.preempt while idle")
-        assert self._completion is not None
-        self._completion.cancel()
+        assert self._completion_seq is not None
+        self.sim.cancel_kind(self._completion_seq)
         work, context = self._work, self._context
         total_ns = self._duration_ns
         executed_ns = min(self._executed_ns(), total_ns)
@@ -175,7 +190,7 @@ class CPU:
         self._work = None
         self._context = None
         self._on_complete = None
-        self._completion = None
+        self._completion_seq = None
         if remaining_cycles <= 0:
             return context, None
         remaining = Work(
@@ -208,13 +223,13 @@ class CPU:
         the ISR retires.
         """
         duration = self.duration_ns(isr_work)
-        self.perf.charge_events(isr_work.events, 1.0)
+        self.perf.charge_events_whole(isr_work.events, 1)
         self.busy_ns += duration
-        if self._completion is not None:
+        if self._completion_seq is not None:
             self._stolen_ns += duration
-            old = self._completion
-            old.cancel()
-            self._completion = self.sim.schedule_at(
-                old.time + duration, self._complete, label=old.label
-            )
+            sim = self.sim
+            sim.cancel_kind(self._completion_seq)
+            pushed = self._completion_ns + duration
+            self._completion_ns = pushed
+            self._completion_seq = sim.schedule_kind_at(pushed, self._complete_hid)
         return duration

@@ -38,6 +38,10 @@ class InterruptController:
         self.cpu = cpu
         self._vectors: Dict[str, InterruptVector] = {}
         self._handlers: Dict[str, Callable[[object], None]] = {}
+        #: Engine handler id per vector (``schedule_call`` convention:
+        #: the handler receives the interrupt payload).  Deliveries then
+        #: cost one heap tuple instead of a closure plus event handle.
+        self._handler_hids: Dict[str, int] = {}
         #: Per-vector delivery counts, for diagnostics and tests.
         self.delivered: Dict[str, int] = {}
         #: Per-vector spurious delivery counts (ISR cost, no handler).
@@ -64,6 +68,7 @@ class InterruptController:
         self._vectors[name] = InterruptVector(name, isr_work)
         if handler is not None:
             self._handlers[name] = handler
+            self._handler_hids[name] = self.sim.register_handler(handler)
         self.delivered.setdefault(name, 0)
 
     def set_handler(self, name: str, handler: Callable[[object], None]) -> None:
@@ -71,6 +76,7 @@ class InterruptController:
         if name not in self._vectors:
             raise KeyError(f"unknown interrupt vector {name!r}")
         self._handlers[name] = handler
+        self._handler_hids[name] = self.sim.register_handler(handler)
 
     def set_isr_work(self, name: str, isr_work: Work) -> None:
         """Re-cost a vector (used by OS personalities at boot)."""
@@ -90,13 +96,11 @@ class InterruptController:
             self.obs(name, duration, False)
         if self.obs_deliver is not None:
             self.obs_deliver(name, payload, duration)
-        handler = self._handlers.get(name)
-        if handler is not None:
-            self.sim.schedule(
-                duration,
-                lambda: handler(payload),
-                label=f"isr-return:{name}",
-            )
+        hid = self._handler_hids.get(name)
+        if hid is not None:
+            # The handler runs at ISR retirement; the kind entry carries
+            # the payload so no closure or handle is allocated.
+            self.sim.schedule_call(duration, hid, payload)
 
     def raise_spurious(self, name: str) -> int:
         """Deliver a *spurious* interrupt on vector ``name``.
@@ -145,6 +149,8 @@ class PeriodicClock:
             self.VECTOR,
             isr_work if isr_work is not None else Work(400, label="clock-isr"),
         )
+        #: Engine handler id for the tick re-arm (no-argument kind).
+        self._tick_hid = sim.register_handler(self._tick)
 
     def start(self) -> None:
         """Begin ticking; the first tick lands on the next period boundary."""
@@ -158,7 +164,7 @@ class PeriodicClock:
 
     def _schedule_next(self) -> None:
         next_tick = ((self.sim.now // self.period_ns) + 1) * self.period_ns
-        self.sim.schedule_at(next_tick, self._tick, label="clock-tick")
+        self.sim.schedule_kind_at(next_tick, self._tick_hid)
 
     def _tick(self) -> None:
         if not self._running:

@@ -81,6 +81,19 @@ class PerfCounters:
 
     def charge_events(self, events: Dict[HwEvent, int], fraction: float = 1.0) -> None:
         """Charge a Work segment's event annotations, scaled by ``fraction``."""
+        if fraction == 1.0:
+            # A full charge of an integer count adds exactly that integer
+            # and never touches the residual (int(c * 1.0) == c, zero
+            # fractional part), so add it straight to the tally.  A
+            # non-integer count still takes the residual-tracking path.
+            tally = self._tally
+            for event, count in events.items():
+                if count:
+                    if type(count) is int:
+                        tally[event] += count
+                    else:
+                        self.charge(event, count)
+            return
         for event, count in events.items():
             if count:
                 self.charge(event, count * fraction)

@@ -55,12 +55,21 @@ class GdiBatch:
         """Drain the batch; returns the Work to execute, or None if empty."""
         if not self._ops:
             return None
-        total = self.personality.gdi_flush_overhead
+        # Accumulate cycles and event counts directly instead of chaining
+        # Work.plus per op — same sums in the same key order, one Work
+        # allocation per flush instead of one per batched op.
+        personality = self.personality
+        base = personality.gdi_flush_overhead
+        cycles = base.cycles
+        events = dict(base.events)
         pixels = 0
         for op in self._ops:
-            total = total.plus(self.personality.gdi_work(op.base))
+            work = personality.gdi_work(op.base)
+            cycles += work.cycles
+            for ev, count in work.events.items():
+                events[ev] = events.get(ev, 0) + count
             pixels += op.pixels
-        total.label = f"gdi-flush[{len(self._ops)}]"
+        total = Work(cycles=cycles, events=events, label=f"gdi-flush[{len(self._ops)}]")
         self.flushes += 1
         self.ops_flushed += len(self._ops)
         self._ops.clear()

@@ -38,15 +38,22 @@ class HookManager:
     def __init__(self) -> None:
         self._hooks: Dict[str, List[Callable[[ApiCallRecord], None]]] = {}
         self.calls_seen = 0
+        #: Number of registered callbacks across all APIs.  Call sites
+        #: that would build an :class:`ApiCallRecord` check this first:
+        #: with no interposed DLL the record is never materialized (the
+        #: call is still counted in :attr:`calls_seen`).
+        self.active = 0
 
     def register(self, api: str, callback: Callable[[ApiCallRecord], None]) -> None:
         """Intercept every call to ``api`` ('*' intercepts all APIs)."""
         self._hooks.setdefault(api, []).append(callback)
+        self.active += 1
 
     def unregister(self, api: str, callback: Callable[[ApiCallRecord], None]) -> None:
         callbacks = self._hooks.get(api, [])
         if callback in callbacks:
             callbacks.remove(callback)
+            self.active -= 1
 
     def fire(self, record: ApiCallRecord) -> None:
         """Deliver a call record to interested hooks."""

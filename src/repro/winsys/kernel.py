@@ -71,6 +71,10 @@ _BLOCKED = object()
 _SPIN_CYCLES = 10**14  # open-ended busy-wait; cancelled, never completed
 
 
+def _noop() -> None:
+    """Shared do-nothing completion (avoids a lambda per async submit)."""
+
+
 class KernelPanic(RuntimeError):
     """Internal inconsistency in the simulated kernel."""
 
@@ -156,6 +160,38 @@ class Kernel:
         #: Every call site guards with ``is not None`` so the disabled
         #: path costs one attribute check.
         self.obs = None
+        # Precompiled engine handler ids for the kernel's own recurring
+        # events: one heap tuple each, no handle/closure/label per
+        # occurrence (docs/performance.md, "inner loop").
+        self._dispatch_hid = self.sim.register_handler(self._dispatch)
+        self._idle_bg_hid = self.sim.register_handler(self._idle_background_tick)
+        # Precompiled syscall dispatch table: concrete syscall class →
+        # bound perform method.  Subclasses resolve through their MRO on
+        # first use (see _resolve_perform) and are cached here, so the
+        # steady state is one dict hit per syscall instead of an
+        # isinstance chain.
+        self._perform_table = {
+            Compute: self._perform_compute,
+            IdleCompute: self._perform_compute,
+            GetMessage: self._perform_getmessage,
+            PeekMessage: self._perform_peekmessage,
+            PostMessage: self._perform_postmessage,
+            GdiOp: self._perform_gdiop,
+            GdiFlush: self._perform_gdiflush,
+            UserCall: self._perform_usercall,
+            SyncRead: self._perform_syncread,
+            SyncWrite: self._perform_syncwrite,
+            AsyncRead: self._perform_asyncread,
+            AsyncWrite: self._perform_asyncwrite,
+            Sleep: self._perform_sleep,
+            SetTimer: self._perform_settimer,
+            KillTimer: self._perform_killtimer,
+            YieldCpu: self._perform_yield,
+            ReadCycleCounter: self._perform_rdtsc,
+            SpawnThread: self._perform_spawn,
+            ExitThread: self._perform_exit,
+            BusyWait: self._perform_busywait,
+        }
 
     # ------------------------------------------------------------------
     # Boot
@@ -179,10 +215,8 @@ class Kernel:
         interrupts.set_handler("nic", self._on_packet)
         self.machine.power_on()
         if personality.idle_background_period_ns > 0:
-            self.sim.schedule(
-                personality.idle_background_period_ns,
-                self._idle_background_tick,
-                label="idle-bg",
+            self.sim.schedule_kind(
+                personality.idle_background_period_ns, self._idle_bg_hid
             )
 
     # ------------------------------------------------------------------
@@ -236,7 +270,7 @@ class Kernel:
         if self._dispatch_scheduled:
             return
         self._dispatch_scheduled = True
-        self.sim.schedule(0, self._dispatch, label="dispatch")
+        self.sim.schedule_kind(0, self._dispatch_hid)
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
@@ -252,8 +286,7 @@ class Kernel:
             return
         if self.cpu.busy:
             if isinstance(self.running, SimThread):
-                top = self.scheduler.top_priority()
-                if top is not None and top > self.running.priority:
+                if self.scheduler.top > self.running.priority:
                     self._preempt_running_thread()
                 else:
                     return
@@ -311,18 +344,22 @@ class Kernel:
         if not isinstance(thread, SimThread):
             raise KernelPanic(f"unknown CPU context {context!r}")
         result: object = None
-        if thread.pending_action is not None:
-            action = thread.pending_action
+        action = thread.pending_action
+        if action is not None:
             thread.pending_action = None
-            result = action()
+            arg = thread.pending_action_arg
+            if arg is None:
+                result = action()
+            else:
+                thread.pending_action_arg = None
+                result = action(arg)
         if result is _BLOCKED:
             if self.obs is not None:
                 self.obs.run_end(thread, thread.wait_reason or "block")
             self.running = None
             self._request_dispatch()
             return
-        top = self.scheduler.top_priority()
-        if (top is not None and top > thread.priority) or self._dpc_queue:
+        if self.scheduler.top > thread.priority or self._dpc_queue:
             thread.resume_value = result
             self.running = None
             if self.obs is not None:
@@ -334,14 +371,29 @@ class Kernel:
 
     def _advance(self, thread: SimThread, send_value: object) -> None:
         """Drive the thread's generator until it blocks or hits the CPU."""
+        table = self._perform_table
         while True:
             try:
                 syscall = thread.advance(send_value)
             except StopIteration:
                 self._finish_thread(thread)
                 return
-            outcome = self._perform(thread, syscall)
+            perform = table.get(syscall.__class__)
+            if perform is None:
+                perform = self._resolve_perform(syscall.__class__)
+            outcome = perform(thread, syscall)
             kind = outcome[0]
+            if kind == "compute":
+                # ("compute", work, action, arg): run ``work`` on the
+                # CPU, then ``action(arg)`` (or ``action()`` when arg is
+                # None) from _work_done.
+                thread.pending_action = outcome[2]
+                thread.pending_action_arg = outcome[3]
+                self.cpu.start(outcome[1], thread, self._work_done)
+                return
+            if kind == "result":
+                send_value = outcome[1]
+                continue
             if kind == "block":
                 if self.obs is not None:
                     if thread.blocked:
@@ -354,15 +406,20 @@ class Kernel:
                 self.running = None
                 self._request_dispatch()
                 return
-            if kind == "compute":
-                _kind, work, action = outcome
-                thread.pending_action = action
-                self.cpu.start(work, thread, self._work_done)
-                return
-            if kind == "result":
-                send_value = outcome[1]
-                continue
             raise KernelPanic(f"unknown perform outcome {kind!r}")
+
+    def _resolve_perform(self, cls):
+        """Resolve a syscall subclass to its perform method via the MRO.
+
+        The result is cached in the dispatch table so each concrete
+        class pays the walk once.
+        """
+        for base in cls.__mro__[1:]:
+            perform = self._perform_table.get(base)
+            if perform is not None:
+                self._perform_table[cls] = perform
+                return perform
+        raise KernelPanic(f"unknown syscall class {cls!r}")
 
     def _finish_thread(self, thread: SimThread) -> None:
         thread.state = ThreadState.DONE
@@ -388,22 +445,32 @@ class Kernel:
     # ------------------------------------------------------------------
     # Syscall execution
     # ------------------------------------------------------------------
-    def _perform(self, thread: SimThread, syscall: Syscall):
-        personality = self.personality
-        now = self.sim.now
+    # One method per syscall class, dispatched through _perform_table.
+    # Every method returns one of:
+    #
+    #   ("compute", work, action, arg)  — run ``work`` on the CPU, then
+    #       ``action(arg)`` (``action()`` when arg is None);
+    #   ("result", value)               — resume the generator with value;
+    #   ("block",)                      — thread left blocked/queued.
+    #
+    # Actions are prebound methods with their argument carried in the
+    # outcome tuple, so the hot path allocates no closures.
 
-        if isinstance(syscall, Compute):
-            if syscall.__class__ is IdleCompute and self.fast_forward:
-                batched = self._try_fast_forward(thread, syscall)
-                if batched:
-                    return ("result", batched)
-            return ("compute", syscall.work, None)
+    def _perform_compute(self, thread: SimThread, syscall: Compute):
+        if syscall.__class__ is IdleCompute and self.fast_forward:
+            batched = self._try_fast_forward(thread, syscall)
+            if batched:
+                return ("result", batched)
+        return ("compute", syscall.work, None, None)
 
-        if isinstance(syscall, GetMessage):
-            # The interposed DLL sees the call as it is made.
-            self.hooks.fire(
+    def _perform_getmessage(self, thread: SimThread, syscall: GetMessage):
+        # The interposed DLL sees the call as it is made; with no DLL
+        # installed the record is never built (the call still counts).
+        hooks = self.hooks
+        if hooks.active:
+            hooks.fire(
                 ApiCallRecord(
-                    time_ns=now,
+                    time_ns=self.sim.now,
                     thread_name=thread.name,
                     api="GetMessage",
                     queue_len=len(thread.queue),
@@ -411,21 +478,25 @@ class Kernel:
                     blocked=thread.queue.empty,
                 )
             )
-            cost = personality.user_call_work
-            # The GDI batch flushes when the thread is about to block —
-            # while input keeps arriving the batch keeps accumulating,
-            # which is the throughput-vs-responsiveness batching
-            # behaviour of Section 1.1.
-            if thread.queue.empty:
-                flush = self.gdi_batch(thread).flush()
-                if flush is not None:
-                    cost = cost.plus(flush, label="getmessage+flush")
-            return ("compute", cost, lambda: self._getmessage_action(thread))
+        else:
+            hooks.calls_seen += 1
+        cost = self.personality.user_call_work
+        # The GDI batch flushes when the thread is about to block —
+        # while input keeps arriving the batch keeps accumulating,
+        # which is the throughput-vs-responsiveness batching
+        # behaviour of Section 1.1.
+        if thread.queue.empty:
+            flush = self.gdi_batch(thread).flush()
+            if flush is not None:
+                cost = cost.plus(flush, label="getmessage+flush")
+        return ("compute", cost, self._getmessage_action, thread)
 
-        if isinstance(syscall, PeekMessage):
-            self.hooks.fire(
+    def _perform_peekmessage(self, thread: SimThread, syscall: PeekMessage):
+        hooks = self.hooks
+        if hooks.active:
+            hooks.fire(
                 ApiCallRecord(
-                    time_ns=now,
+                    time_ns=self.sim.now,
                     thread_name=thread.name,
                     api="PeekMessage",
                     queue_len=len(thread.queue),
@@ -433,137 +504,154 @@ class Kernel:
                     blocked=False,
                 )
             )
-            cost = personality.user_call_work
-            if thread.queue.empty:
-                flush = self.gdi_batch(thread).flush()
-                if flush is not None:
-                    cost = cost.plus(flush, label="peekmessage+flush")
-            remove = syscall.remove
-            return (
-                "compute",
-                cost,
-                lambda: self._peekmessage_action(thread, remove),
-            )
+        else:
+            hooks.calls_seen += 1
+        cost = self.personality.user_call_work
+        if thread.queue.empty:
+            flush = self.gdi_batch(thread).flush()
+            if flush is not None:
+                cost = cost.plus(flush, label="peekmessage+flush")
+        if syscall.remove:
+            return ("compute", cost, self._peekmessage_remove_action, thread)
+        return ("compute", cost, self._peekmessage_peek_action, thread)
 
-        if isinstance(syscall, PostMessage):
-            target, message = syscall.target, syscall.message
+    def _perform_postmessage(self, thread: SimThread, syscall: PostMessage):
+        return (
+            "compute",
+            self.personality.user_call_work,
+            self._post_action,
+            syscall,
+        )
 
-            def post_action() -> None:
-                self.post_message(target, message)
+    def _post_action(self, syscall: PostMessage) -> None:
+        self.post_message(syscall.target, syscall.message)
 
-            return ("compute", personality.user_call_work, post_action)
+    def _perform_gdiop(self, thread: SimThread, syscall: GdiOp):
+        flush_work = self.gdi_batch(thread).add(syscall)
+        if syscall.pixels:
+            self.machine.display.paint(syscall.pixels)
+        if flush_work is not None:
+            return ("compute", flush_work, None, None)
+        return ("result", None)
 
-        if isinstance(syscall, GdiOp):
-            flush_work = self.gdi_batch(thread).add(syscall)
-            if syscall.pixels:
-                self.machine.display.paint(syscall.pixels)
-            if flush_work is not None:
-                return ("compute", flush_work, None)
-            return ("result", None)
+    def _perform_gdiflush(self, thread: SimThread, syscall: GdiFlush):
+        flush_work = self.gdi_batch(thread).flush()
+        if flush_work is not None:
+            return ("compute", flush_work, None, None)
+        return ("result", None)
 
-        if isinstance(syscall, GdiFlush):
-            flush_work = self.gdi_batch(thread).flush()
-            if flush_work is not None:
-                return ("compute", flush_work, None)
-            return ("result", None)
+    def _perform_usercall(self, thread: SimThread, syscall: UserCall):
+        personality = self.personality
+        cost = personality.user_call_work.plus(
+            personality.user_work(syscall.base.cycles, label=syscall.name)
+        )
+        return ("compute", cost, None, None)
 
-        if isinstance(syscall, UserCall):
-            cost = personality.user_call_work.plus(
-                personality.user_work(syscall.base.cycles, label=syscall.name)
-            )
-            return ("compute", cost, None)
+    def _perform_syncread(self, thread: SimThread, syscall: SyncRead):
+        plan = self.iomgr.plan_read(syscall.file, syscall.offset, syscall.length)
+        return ("compute", plan.cpu_work, self._sync_io_action, (thread, plan))
 
-        if isinstance(syscall, SyncRead):
-            plan = self.iomgr.plan_read(syscall.file, syscall.offset, syscall.length)
-            return ("compute", plan.cpu_work, lambda: self._sync_io_action(thread, plan))
+    def _perform_syncwrite(self, thread: SimThread, syscall: SyncWrite):
+        plan = self.iomgr.plan_write(syscall.file, syscall.offset, syscall.length)
+        return ("compute", plan.cpu_work, self._sync_io_action, (thread, plan))
 
-        if isinstance(syscall, SyncWrite):
-            plan = self.iomgr.plan_write(syscall.file, syscall.offset, syscall.length)
-            return ("compute", plan.cpu_work, lambda: self._sync_io_action(thread, plan))
+    def _perform_asyncread(self, thread: SimThread, syscall: AsyncRead):
+        plan = self.iomgr.plan_read(syscall.file, syscall.offset, syscall.length)
+        return ("compute", plan.cpu_work, self._submit_async_action, plan)
 
-        if isinstance(syscall, AsyncRead):
-            plan = self.iomgr.plan_read(syscall.file, syscall.offset, syscall.length)
+    def _perform_asyncwrite(self, thread: SimThread, syscall: AsyncWrite):
+        plan = self.iomgr.plan_write(syscall.file, syscall.offset, syscall.length)
+        return ("compute", plan.cpu_work, self._submit_async_action, plan)
 
-            def submit_async() -> None:
-                self.iomgr.submit(plan, on_done=lambda: None, sync=False)
+    def _submit_async_action(self, plan) -> None:
+        self.iomgr.submit(plan, on_done=_noop, sync=False)
 
-            return ("compute", plan.cpu_work, submit_async)
+    def _perform_sleep(self, thread: SimThread, syscall: Sleep):
+        now = self.sim.now
+        duration = max(0, syscall.duration_ns)
+        period = self.machine.spec.clock_period_ns
+        earliest = now + duration
+        wake_at = ((earliest + period - 1) // period) * period
+        if wake_at <= now:
+            wake_at = now + period
+        return (
+            "compute",
+            self.personality.syscall_work,
+            self._sleep_action,
+            (thread, wake_at),
+        )
 
-        if isinstance(syscall, AsyncWrite):
-            plan = self.iomgr.plan_write(syscall.file, syscall.offset, syscall.length)
+    def _sleep_action(self, thread_wake):
+        thread, wake_at = thread_wake
+        self.sim.schedule_at(
+            wake_at, lambda: self._wake(thread), label="sleep-wake"
+        )
+        return self._block_value(thread, "sleep")
 
-            def submit_async_write() -> None:
-                self.iomgr.submit(plan, on_done=lambda: None, sync=False)
+    def _perform_settimer(self, thread: SimThread, syscall: SetTimer):
+        period = max(syscall.period_ns, self.machine.spec.clock_period_ns)
+        # next_due is anchored at issue time, not at the syscall cost's
+        # completion — the timer period starts when SetTimer is called.
+        return (
+            "compute",
+            self.personality.syscall_work,
+            self._set_timer_action,
+            (thread, syscall.timer_id, period, self.sim.now),
+        )
 
-            return ("compute", plan.cpu_work, submit_async_write)
+    def _set_timer_action(self, spec):
+        thread, timer_id, period, issued_ns = spec
+        self._timers[(thread.tid, timer_id)] = _Timer(
+            thread=thread,
+            timer_id=timer_id,
+            period_ns=period,
+            next_due_ns=issued_ns + period,
+        )
+        return None
 
-        if isinstance(syscall, Sleep):
-            duration = max(0, syscall.duration_ns)
-            period = self.machine.spec.clock_period_ns
-            earliest = now + duration
-            wake_at = ((earliest + period - 1) // period) * period
-            if wake_at <= now:
-                wake_at = now + period
+    def _perform_killtimer(self, thread: SimThread, syscall: KillTimer):
+        return (
+            "compute",
+            self.personality.syscall_work,
+            self._kill_timer_action,
+            (thread.tid, syscall.timer_id),
+        )
 
-            def sleep_action():
-                self.sim.schedule_at(
-                    wake_at, lambda: self._wake(thread), label="sleep-wake"
-                )
-                return self._block_value(thread, "sleep")
+    def _kill_timer_action(self, key):
+        self._timers.pop(key, None)
+        return None
 
-            return ("compute", personality.syscall_work, sleep_action)
+    def _perform_yield(self, thread: SimThread, syscall: YieldCpu):
+        thread.resume_value = None
+        thread.quantum_ticks_used = 0  # voluntary yield restarts it
+        self.scheduler.make_ready(thread, front=False)
+        self.running = None
+        self._request_dispatch()
+        return ("block",)  # state stays READY (already queued)
 
-        if isinstance(syscall, SetTimer):
-            timer_id = syscall.timer_id
-            period = max(syscall.period_ns, self.machine.spec.clock_period_ns)
+    def _perform_rdtsc(self, thread: SimThread, syscall: ReadCycleCounter):
+        return ("result", self.machine.perf.read_cycle_counter())
 
-            def set_timer_action():
-                key = (thread.tid, timer_id)
-                self._timers[key] = _Timer(
-                    thread=thread,
-                    timer_id=timer_id,
-                    period_ns=period,
-                    next_due_ns=now + period,
-                )
-                return None
+    def _perform_spawn(self, thread: SimThread, syscall: SpawnThread):
+        child = self.create_thread(
+            syscall.name, syscall.coroutine, syscall.priority, process=thread.process
+        )
+        return ("result", child)
 
-            return ("compute", personality.syscall_work, set_timer_action)
+    def _perform_exit(self, thread: SimThread, syscall: ExitThread):
+        self._finish_thread(thread)
+        return ("block",)
 
-        if isinstance(syscall, KillTimer):
-            def kill_timer_action():
-                self._timers.pop((thread.tid, syscall.timer_id), None)
-                return None
-
-            return ("compute", personality.syscall_work, kill_timer_action)
-
-        if isinstance(syscall, YieldCpu):
-            thread.resume_value = None
-            thread.quantum_ticks_used = 0  # voluntary yield restarts it
-            self.scheduler.make_ready(thread, front=False)
-            self.running = None
-            self._request_dispatch()
-            return ("block",)  # state stays READY (already queued)
-
-        if isinstance(syscall, ReadCycleCounter):
-            return ("result", self.machine.perf.read_cycle_counter())
-
-        if isinstance(syscall, SpawnThread):
-            child = self.create_thread(
-                syscall.name, syscall.coroutine, syscall.priority, process=thread.process
-            )
-            return ("result", child)
-
-        if isinstance(syscall, ExitThread):
-            self._finish_thread(thread)
-            return ("block",)
-
-        if isinstance(syscall, BusyWait):
-            if not thread.queue.empty:
-                return ("result", None)  # input already waiting
-            thread.spin_wait = True
-            return ("compute", Work(_SPIN_CYCLES, label=f"spin:{syscall.reason}"), None)
-
-        raise KernelPanic(f"unknown syscall {syscall!r}")
+    def _perform_busywait(self, thread: SimThread, syscall: BusyWait):
+        if not thread.queue.empty:
+            return ("result", None)  # input already waiting
+        thread.spin_wait = True
+        return (
+            "compute",
+            Work(_SPIN_CYCLES, label=f"spin:{syscall.reason}"),
+            None,
+            None,
+        )
 
     def _try_fast_forward(self, thread: SimThread, syscall: IdleCompute) -> int:
         """Complete up to ``syscall.max_batch`` idle segments analytically.
@@ -601,7 +689,7 @@ class Kernel:
             or self._spin_active
             or self.running is not thread
             or self.cpu.busy
-            or self.scheduler.ready_count() > 0
+            or self.scheduler.top >= 0
         ):
             return 0
         work = syscall.work
@@ -634,18 +722,28 @@ class Kernel:
             self.obs.pump_idle(thread)
         message = thread.queue.get(self.sim.now)
         if message is not None:
-            self.hooks.fire(
-                ApiCallRecord(
-                    time_ns=self.sim.now,
-                    thread_name=thread.name,
-                    api="GetMessage",
-                    queue_len=len(thread.queue),
-                    message=message,
-                    blocked=False,
+            hooks = self.hooks
+            if hooks.active:
+                hooks.fire(
+                    ApiCallRecord(
+                        time_ns=self.sim.now,
+                        thread_name=thread.name,
+                        api="GetMessage",
+                        queue_len=len(thread.queue),
+                        message=message,
+                        blocked=False,
+                    )
                 )
-            )
+            else:
+                hooks.calls_seen += 1
             return message
         return self._block_value(thread, "message")
+
+    def _peekmessage_remove_action(self, thread: SimThread):
+        return self._peekmessage_action(thread, True)
+
+    def _peekmessage_peek_action(self, thread: SimThread):
+        return self._peekmessage_action(thread, False)
 
     def _peekmessage_action(self, thread: SimThread, remove: bool):
         if self.obs is not None:
@@ -654,19 +752,24 @@ class Kernel:
             message = thread.queue.get(self.sim.now)
         else:
             message = thread.queue.peek()
-        self.hooks.fire(
-            ApiCallRecord(
-                time_ns=self.sim.now,
-                thread_name=thread.name,
-                api="PeekMessage",
-                queue_len=len(thread.queue),
-                message=message,
-                blocked=False,
+        hooks = self.hooks
+        if hooks.active:
+            hooks.fire(
+                ApiCallRecord(
+                    time_ns=self.sim.now,
+                    thread_name=thread.name,
+                    api="PeekMessage",
+                    queue_len=len(thread.queue),
+                    message=message,
+                    blocked=False,
+                )
             )
-        )
+        else:
+            hooks.calls_seen += 1
         return message
 
-    def _sync_io_action(self, thread: SimThread, plan):
+    def _sync_io_action(self, thread_plan):
+        thread, plan = thread_plan
         if plan.all_cached:
             return None
         self.iomgr.submit(plan, on_done=lambda: self._wake(thread), sync=True)
@@ -680,6 +783,7 @@ class Kernel:
             self.running = None
         thread.pending_work = None
         thread.pending_action = None
+        thread.pending_action_arg = None
         thread.resume_value = None
         if thread.state == ThreadState.RUNNING:
             thread.state = ThreadState.READY
@@ -694,16 +798,20 @@ class Kernel:
             return
         if thread.blocked and thread.wait_reason == "message":
             delivered = thread.queue.get(self.sim.now)
-            self.hooks.fire(
-                ApiCallRecord(
-                    time_ns=self.sim.now,
-                    thread_name=thread.name,
-                    api="GetMessage",
-                    queue_len=len(thread.queue),
-                    message=delivered,
-                    blocked=True,
+            hooks = self.hooks
+            if hooks.active:
+                hooks.fire(
+                    ApiCallRecord(
+                        time_ns=self.sim.now,
+                        thread_name=thread.name,
+                        api="GetMessage",
+                        queue_len=len(thread.queue),
+                        message=delivered,
+                        blocked=True,
+                    )
                 )
-            )
+            else:
+                hooks.calls_seen += 1
             self._wake(thread, resume_value=delivered)
 
     # ------------------------------------------------------------------
@@ -753,7 +861,7 @@ class Kernel:
         # could observe a ~400-cycle minimum on NT 4.0 (Section 2.5).
         tick_has_work = (
             bool(self._timers)
-            or self.scheduler.ready_count() > 0
+            or self.scheduler.top >= 0
             or (
                 isinstance(self.running, SimThread)
                 and self.running.priority > IDLE_PRIORITY
@@ -955,10 +1063,8 @@ class Kernel:
         personality = self.personality
         if personality.idle_background_cycles > 0:
             self.queue_dpc(personality.idle_background_work, label="idle-bg")
-        self.sim.schedule(
-            personality.idle_background_period_ns,
-            self._idle_background_tick,
-            label="idle-bg",
+        self.sim.schedule_kind(
+            personality.idle_background_period_ns, self._idle_bg_hid
         )
 
     # ------------------------------------------------------------------

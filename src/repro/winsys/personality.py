@@ -31,11 +31,17 @@ the systems" (Section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from functools import cached_property
+from typing import Dict, Tuple
 
 from ..sim.work import HwEvent, Work
 
 __all__ = ["OSPersonality", "annotate_proportional"]
+
+#: Upper bound on each personality's parameterized-Work memo (the fixed
+#: per-OS cost table is tiny; an app generating unbounded distinct cycle
+#: counts must not turn the cache into a leak).
+_WORK_CACHE_MAX = 1024
 
 #: Instructions retired per cycle (shared by every personality).
 INSTRUCTIONS_PER_CYCLE = 0.9
@@ -141,101 +147,132 @@ class OSPersonality:
     # ------------------------------------------------------------------
     # Work constructors (the only way OS/app code should build Work)
     # ------------------------------------------------------------------
+    # Construction is memoized: personalities are frozen, so a given
+    # (kind, cycles, label) always yields an identical Work, and callers
+    # never mutate the returned value (Work combinators — ``plus``,
+    # ``scaled`` — copy).  The hot path (kernel syscall dispatch builds
+    # the same handful of costs per message) then skips the per-call
+    # dict build and proportional rounding entirely.  The memo lives in
+    # the instance ``__dict__`` via ``object.__setattr__`` because the
+    # dataclass is frozen.
+
+    def _memo_work(self, key: Tuple, cycles: int, per_kcycle, label: str) -> Work:
+        try:
+            cache = self._work_cache
+        except AttributeError:
+            cache = {}
+            object.__setattr__(self, "_work_cache", cache)
+        work = cache.get(key)
+        if work is None:
+            work = annotate_proportional(cycles, per_kcycle, label=label)
+            if len(cache) < _WORK_CACHE_MAX:
+                cache[key] = work
+        return work
+
     def app_work(self, cycles: int, label: str = "") -> Work:
         """OS-independent application computation."""
-        return annotate_proportional(cycles, {}, label=label)
+        return self._memo_work(("app", cycles, label), cycles, {}, label)
 
     def user_work(self, base_cycles: int, label: str = "") -> Work:
         """USER-path work (input translation, default window processing)."""
         cycles = round(base_cycles * self.user_cycle_factor)
-        return annotate_proportional(cycles, self.gui_events_per_kcycle, label=label)
+        return self._memo_work(
+            ("user", cycles, label), cycles, self.gui_events_per_kcycle, label
+        )
 
     def gui_work(self, base_cycles: int, label: str = "") -> Work:
         """Application GUI computation (layout, rendering preparation)."""
         cycles = round(base_cycles * self.gui_cycle_factor)
-        return annotate_proportional(cycles, self.gui_events_per_kcycle, label=label)
+        return self._memo_work(
+            ("gui", cycles, label), cycles, self.gui_events_per_kcycle, label
+        )
 
     def gdi_work(self, base: Work) -> Work:
         """Transform one batched GDI op's base cost for this OS."""
         cycles = round(base.cycles * self.gdi_cycle_factor)
-        return annotate_proportional(
-            cycles, self.gui_events_per_kcycle, label=base.label
+        return self._memo_work(
+            ("gdi", cycles, base.label),
+            cycles,
+            self.gui_events_per_kcycle,
+            base.label,
         )
 
     # Derived fixed-cost Work values ------------------------------------
-    @property
+    # ``cached_property`` computes once per personality instance; safe
+    # for the same reason as the memo above (frozen knobs, callers copy).
+    @cached_property
     def user_call_work(self) -> Work:
         return annotate_proportional(
             self.user_call_cycles, self.gui_events_per_kcycle, label="user-call"
         )
 
-    @property
+    @cached_property
     def gdi_flush_overhead(self) -> Work:
         return annotate_proportional(
             self.gdi_flush_cycles, self.gui_events_per_kcycle, label="gdi-flush"
         )
 
-    @property
+    @cached_property
     def syscall_work(self) -> Work:
         return annotate_proportional(self.syscall_cycles, {}, label="syscall")
 
-    @property
+    @cached_property
     def io_syscall_work(self) -> Work:
         return annotate_proportional(self.io_syscall_cycles, {}, label="io-syscall")
 
-    @property
+    @cached_property
     def cache_copy_work(self) -> Work:
         return annotate_proportional(self.cache_copy_cycles, {}, label="cache-copy")
 
-    @property
+    @cached_property
     def input_dispatch_work(self) -> Work:
         return annotate_proportional(
             self.input_dispatch_cycles, self.gui_events_per_kcycle, label="input-dispatch"
         )
 
-    @property
+    @cached_property
     def nic_isr_work(self) -> Work:
         return annotate_proportional(self.nic_isr_cycles, {}, label="nic-isr")
 
-    @property
+    @cached_property
     def nic_dispatch_work(self) -> Work:
         return annotate_proportional(
             self.nic_dispatch_cycles, self.gui_events_per_kcycle, label="nic-dispatch"
         )
 
-    @property
+    @cached_property
     def queuesync_work(self) -> Work:
         return annotate_proportional(
             self.queuesync_cycles, self.gui_events_per_kcycle, label="queuesync"
         )
 
-    @property
+    @cached_property
     def clock_isr_work(self) -> Work:
         return annotate_proportional(self.clock_isr_cycles, {}, label="clock-isr")
 
-    @property
+    @cached_property
     def keyboard_isr_work(self) -> Work:
         return annotate_proportional(self.keyboard_isr_cycles, {}, label="kbd-isr")
 
-    @property
+    @cached_property
     def mouse_isr_work(self) -> Work:
         return annotate_proportional(self.mouse_isr_cycles, {}, label="mouse-isr")
 
-    @property
+    @cached_property
     def disk_isr_work(self) -> Work:
         return annotate_proportional(self.disk_isr_cycles, {}, label="disk-isr")
 
-    @property
+    @cached_property
     def tick_dpc_work(self) -> Work:
         return annotate_proportional(self.tick_dpc_cycles, {}, label="tick-dpc")
 
-    @property
+    @cached_property
     def housekeeping_work(self) -> Work:
         return annotate_proportional(
             self.housekeeping_cycles, {}, label="housekeeping"
         )
 
-    @property
+    @cached_property
     def idle_background_work(self) -> Work:
         return annotate_proportional(
             self.idle_background_cycles, self.gui_events_per_kcycle, label="idle-bg"

@@ -26,6 +26,10 @@ class Scheduler:
         self._ready: Dict[int, Deque[SimThread]] = {}
         self._priorities: List[int] = []  # sorted descending
         self._requeue_jitter: Optional[Callable[[SimThread], bool]] = None
+        #: Highest priority with a ready thread, -1 when all queues are
+        #: empty.  Maintained incrementally so the kernel's per-segment
+        #: preemption checks read one attribute instead of scanning.
+        self.top = -1
 
     def set_requeue_jitter(
         self, jitter: Optional[Callable[[SimThread], bool]]
@@ -69,6 +73,14 @@ class Scheduler:
             queue.appendleft(thread)
         else:
             queue.append(thread)
+        if thread.priority > self.top:
+            self.top = thread.priority
+
+    def _scan_top(self) -> int:
+        for priority in self._priorities:
+            if self._ready[priority]:
+                return priority
+        return -1
 
     def pick(self) -> Optional[SimThread]:
         """Remove and return the highest-priority ready thread."""
@@ -77,15 +89,14 @@ class Scheduler:
             if queue:
                 thread = queue.popleft()
                 thread.state = ThreadState.RUNNING
+                self.top = priority if queue else self._scan_top()
                 return thread
         return None
 
     def top_priority(self) -> Optional[int]:
         """Priority of the best ready thread, or None when all queues empty."""
-        for priority in self._priorities:
-            if self._ready[priority]:
-                return priority
-        return None
+        top = self.top
+        return top if top >= 0 else None
 
     def has_ready_at(self, priority: int) -> bool:
         """True if another thread at exactly ``priority`` is waiting."""
@@ -97,6 +108,7 @@ class Scheduler:
         queue = self._ready.get(thread.priority)
         if queue and thread in queue:
             queue.remove(thread)
+            self.top = self._scan_top()
             return True
         return False
 

@@ -64,6 +64,11 @@ class SimThread:
         #: Deferred action to run when the current costed syscall's work
         #: completes (set by the kernel's perform step).
         self.pending_action = None
+        #: Argument for ``pending_action`` (None → called with no args).
+        #: Carrying the argument here instead of closing over it lets the
+        #: kernel return prebound methods from its syscall table without
+        #: allocating a closure per dispatch.
+        self.pending_action_arg = None
         #: Value to send into the generator on next dispatch.
         self.resume_value: object = None
         #: Clock ticks consumed since the quantum last reset (the kernel
@@ -84,6 +89,11 @@ class SimThread:
         """
         if not self._started:
             self._started = True
+            # After the first step every advance is a plain send; rebind
+            # the instance attribute so later calls skip this wrapper
+            # frame entirely (the kernel drives advance once per
+            # syscall, so the extra frame is measurable).
+            self.advance = self.program.send
             return next(self.program)
         return self.program.send(send_value)
 

@@ -73,6 +73,9 @@ class MsTestDriver:
         self._awaiting_qs = False
         self._qs_retrieved = False
         self._pending_pause_ns = 0
+        #: True while run_to_completion's predicate-free run is active;
+        #: the finishing _step then stops the simulator directly.
+        self._stop_on_finish = False
         if queuesync:
             system.hooks.register("GetMessage", self._on_hook_record)
             system.hooks.register("PeekMessage", self._on_hook_record)
@@ -91,7 +94,16 @@ class MsTestDriver:
         if self._index == 0 and not self.finished:
             self.start()
         deadline = self.system.now + ns_from_ms(max_seconds * 1000.0)
-        self.system.sim.run(until=lambda: self.finished, until_ns=deadline)
+        # The final _step calls sim.stop() (armed below) when the script
+        # ends, so the run needs no per-event ``until`` predicate — the
+        # engine stops at exactly the same event, and without a
+        # predicate it may execute side-calendar runs batched.
+        if not self.finished:
+            self._stop_on_finish = True
+            try:
+                self.system.sim.run(until_ns=deadline)
+            finally:
+                self._stop_on_finish = False
         if not self.finished:
             raise TimeoutError(
                 f"script did not finish within {max_seconds} s of simulated time"
@@ -149,6 +161,8 @@ class MsTestDriver:
                 return
             raise TypeError(f"unknown script action {action!r}")
         self.finished = True
+        if self._stop_on_finish:
+            self.system.sim.stop()
 
     def _after_input(self, pause_ns: int, extra_delay_ns: int = 0) -> None:
         self.events_injected += 1
